@@ -1,0 +1,101 @@
+// Command spef regenerates the paper's tables and figures. Usage:
+//
+//	spef [-quick] <experiment> [<experiment> ...]
+//	spef [-quick] all
+//
+// Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
+// table5 fig12 fig13. fig6 and fig7 share one runner and print both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner func(experiments.Options) (interface{ Format(io.Writer) }, error)
+
+func wrap[T interface{ Format(io.Writer) }](f func(experiments.Options) (T, error)) runner {
+	return func(o experiments.Options) (interface{ Format(io.Writer) }, error) {
+		return f(o)
+	}
+}
+
+var registry = map[string]runner{
+	"table1": wrap(experiments.RunTable1),
+	"fig2":   wrap(experiments.RunFig2),
+	"fig3":   wrap(experiments.RunFig3),
+	"fig6":   wrap(experiments.RunFig67),
+	"fig7":   wrap(experiments.RunFig67),
+	"table3": wrap(experiments.RunTable3),
+	"fig9":   wrap(experiments.RunFig9),
+	"fig10":  wrap(experiments.RunFig10),
+	"fig11":  wrap(experiments.RunFig11),
+	"table5": wrap(experiments.RunTable5),
+	"fig12":  wrap(experiments.RunFig12),
+	"fig13":  wrap(experiments.RunFig13),
+	// Extensions beyond the paper (see EXPERIMENTS.md):
+	"control": wrap(experiments.RunControl),
+	"failure": wrap(experiments.RunFailure),
+}
+
+// order lists experiments in the paper's presentation order; the
+// extensions run last.
+var order = []string{
+	"table1", "fig2", "fig3", "fig6", "table3", "fig9", "fig10",
+	"fig11", "table5", "fig12", "fig13", "control", "failure",
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-fidelity run (fast)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = order
+	}
+	if err := run(names, experiments.Options{Quick: *quick}); err != nil {
+		fmt.Fprintln(os.Stderr, "spef:", err)
+		os.Exit(1)
+	}
+}
+
+func run(names []string, opts experiments.Options) error {
+	for _, name := range names {
+		r, ok := registry[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try: %v)", name, known())
+		}
+		start := time.Now()
+		res, err := r(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n", name, time.Since(start).Seconds())
+		res.Format(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func known() []string {
+	names := make([]string, 0, len(registry))
+	for k := range registry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] <experiment>... | all\nexperiments: %v\n", known())
+}

@@ -1,0 +1,103 @@
+// Command teopt optimizes SPEF link weights for a network and demand set
+// given in the text format of cmd/topogen (see package spef: node/link/
+// duplex/demand lines). It prints the two per-link weights, the resulting
+// link utilizations, and a comparison against InvCap OSPF.
+//
+// Usage:
+//
+//	teopt [-beta 1] [-iters N] [-load L] [-integer] < network.txt
+//	teopt -in network.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	spef "repro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input file (default stdin)")
+		beta    = flag.Float64("beta", 1, "load-balance exponent of the (q,beta) objective")
+		iters   = flag.Int("iters", 0, "algorithm 1 iteration budget (0 = default)")
+		load    = flag.Float64("load", 0, "rescale demands to this network load (0 = keep)")
+		integer = flag.Bool("integer", false, "also print OSPF-compatible integer weights")
+	)
+	flag.Parse()
+	if err := run(*in, *beta, *iters, *load, *integer); err != nil {
+		fmt.Fprintln(os.Stderr, "teopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, beta float64, iters int, load float64, integer bool) error {
+	var src io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	n, d, err := spef.ParseNetworkAndDemands(src)
+	if err != nil {
+		return err
+	}
+	if d.Total() == 0 {
+		return fmt.Errorf("input has no demands")
+	}
+	if load > 0 {
+		if d, err = d.ScaledToLoad(n, load); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("network: %d nodes, %d links, demand %.4g (load %.4f)\n",
+		n.NumNodes(), n.NumLinks(), d.Total(), d.NetworkLoad(n))
+
+	p, err := spef.Optimize(n, d, spef.Config{Beta: beta, BetaSet: true, MaxIterations: iters})
+	if err != nil {
+		return err
+	}
+	report, err := p.Evaluate(d)
+	if err != nil {
+		return err
+	}
+	ospf, err := spef.EvaluateOSPF(n, d, nil)
+	if err != nil {
+		return err
+	}
+
+	w1 := p.FirstWeights()
+	w2 := p.SecondWeights()
+	var iw []float64
+	if integer {
+		if iw, _, err = p.IntegerFirstWeights(); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	header := "link\tfrom\tto\tcap\tw1\tw2\tutil\tospf-util"
+	if integer {
+		header += "\tw1-int"
+	}
+	fmt.Fprintln(tw, header)
+	for e := 0; e < n.NumLinks(); e++ {
+		from, to, capacity := n.Link(e)
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%g\t%.4f\t%.4f\t%.3f\t%.3f",
+			e+1, n.NodeName(from), n.NodeName(to), capacity,
+			w1[e], w2[e], report.LinkUtilization[e], ospf.LinkUtilization[e])
+		if integer {
+			fmt.Fprintf(tw, "\t%.0f", iw[e])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Printf("SPEF: MLU %.4f, utility %.4f\n", report.MLU, report.Utility)
+	fmt.Printf("OSPF: MLU %.4f, utility %.4f\n", ospf.MLU, ospf.Utility)
+	return nil
+}

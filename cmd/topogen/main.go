@@ -1,0 +1,70 @@
+// Command topogen emits networks (and optionally demands) in the text
+// format consumed by cmd/teopt.
+//
+// Usage:
+//
+//	topogen -net abilene|cernet2|fig1|simple [-demands ft|none] [-load L]
+//	topogen -net rand -nodes 50 -links 242 [-seed 1] ...
+//	topogen -net hier -nodes 50 -clusters 5 -links 222 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spef "repro"
+)
+
+func main() {
+	var (
+		netKind  = flag.String("net", "abilene", "abilene|cernet2|fig1|simple|rand|hier")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		nodes    = flag.Int("nodes", 50, "node count (rand/hier)")
+		links    = flag.Int("links", 222, "directed link count (rand/hier)")
+		clusters = flag.Int("clusters", 5, "cluster count (hier)")
+		demands  = flag.String("demands", "ft", "demand generator: ft|none (fig1/simple carry their own)")
+		load     = flag.Float64("load", 0.1, "network load to scale generated demands to")
+	)
+	flag.Parse()
+	if err := run(*netKind, *seed, *nodes, *links, *clusters, *demands, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, seed int64, nodes, links, clusters int, demandKind string, load float64) error {
+	var (
+		n   *spef.Network
+		d   *spef.Demands
+		err error
+	)
+	switch kind {
+	case "abilene":
+		n = spef.Abilene()
+	case "cernet2":
+		n = spef.Cernet2()
+	case "fig1":
+		n, d, err = spef.Fig1Example()
+	case "simple":
+		n, d, err = spef.SimpleExample()
+	case "rand":
+		n, err = spef.RandomNetwork(seed, nodes, links)
+	case "hier":
+		n, err = spef.HierarchicalNetwork(seed, nodes, clusters, links)
+	default:
+		return fmt.Errorf("unknown -net %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if d == nil && demandKind == "ft" {
+		if d, err = spef.FortzThorupDemands(seed, n); err != nil {
+			return err
+		}
+		if d, err = d.ScaledToLoad(n, load); err != nil {
+			return err
+		}
+	}
+	return spef.WriteNetworkAndDemands(os.Stdout, n, d)
+}

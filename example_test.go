@@ -1,0 +1,80 @@
+package spef_test
+
+import (
+	"fmt"
+
+	spef "repro"
+)
+
+// ExampleOptimize reproduces the paper's Table I (beta = 1) on the
+// Fig. 1 illustration network: the optimal first weights are
+// (3, 10, 1.5, 1.5) and the optimal distribution splits the (1,3)
+// demand 2/3 direct, 1/3 over the detour.
+func ExampleOptimize() {
+	n, d, err := spef.Fig1Example()
+	if err != nil {
+		panic(err)
+	}
+	p, err := spef.Optimize(n, d, spef.Config{Beta: 1, MaxIterations: 20000})
+	if err != nil {
+		panic(err)
+	}
+	for e, w := range p.FirstWeights() {
+		if e > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("w%d=%.1f", e+1, w)
+	}
+	fmt.Println()
+	report, err := p.Evaluate(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("MLU %.2f\n", report.MLU)
+	// Output:
+	// w1=3.0 w2=10.0 w3=1.5 w4=1.5
+	// MLU 0.90
+}
+
+// ExampleEvaluateOSPF shows the baseline comparison: on the same
+// instance InvCap OSPF has no equal-cost tie, routes everything on the
+// direct link and saturates it.
+func ExampleEvaluateOSPF() {
+	n, d, err := spef.Fig1Example()
+	if err != nil {
+		panic(err)
+	}
+	report, err := spef.EvaluateOSPF(n, d, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OSPF MLU %.2f\n", report.MLU)
+	// Output:
+	// OSPF MLU 1.00
+}
+
+// ExampleProtocol_ForwardingTable prints the SPEF forwarding state of
+// node 1 toward node 3 — the paper's Table II: two equal-cost next hops
+// with exponential split ratios computed from the second weights.
+func ExampleProtocol_ForwardingTable() {
+	n, d, err := spef.Fig1Example()
+	if err != nil {
+		panic(err)
+	}
+	p, err := spef.Optimize(n, d, spef.Config{Beta: 1, MaxIterations: 20000})
+	if err != nil {
+		panic(err)
+	}
+	node, _ := n.NodeByName("n1")
+	dst, _ := n.NodeByName("n3")
+	ft, err := p.ForwardingTable(node, dst)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range ft.Entries {
+		fmt.Printf("next hop %s ratio %.2f\n", n.NodeName(e.NextHop), e.Ratio)
+	}
+	// Output:
+	// next hop n3 ratio 0.67
+	// next hop n2 ratio 0.33
+}

@@ -1,0 +1,73 @@
+// Abilene case study: sweep the network load on the Abilene backbone
+// and compare InvCap OSPF against SPEF — the experiment behind the
+// paper's Figs. 9 and 10(a).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	spef "repro"
+)
+
+func main() {
+	n := spef.Abilene()
+	base, err := spef.FortzThorupDemands(1001, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("load    OSPF-MLU  SPEF-MLU  OSPF-utility  SPEF-utility")
+	for _, load := range []float64{0.12, 0.14, 0.16, 0.18} {
+		d, err := base.ScaledToLoad(n, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ospf, err := spef.EvaluateOSPF(n, d, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := spef.Optimize(n, d, spef.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := p.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f    %.4f    %.4f    %8.3f      %8.3f\n",
+			load, ospf.MLU, report.MLU, ospf.Utility, report.Utility)
+	}
+
+	// Sorted link utilizations at the highest load (Fig. 9 style).
+	d, err := base.ScaledToLoad(n, 0.17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ospf, err := spef.EvaluateOSPF(n, d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := spef.Optimize(n, d, spef.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := p.Evaluate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := sortedDesc(ospf.LinkUtilization)
+	s := sortedDesc(report.LinkUtilization)
+	fmt.Println("\nsorted link utilizations at load 0.17 (top 10):")
+	fmt.Println("rank  OSPF    SPEF")
+	for i := 0; i < 10; i++ {
+		fmt.Printf("%-4d  %.3f   %.3f\n", i+1, o[i], s[i])
+	}
+}
+
+func sortedDesc(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small network, optimize SPEF's two per-link
+// weights, and inspect the resulting forwarding state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spef "repro"
+)
+
+func main() {
+	// A diamond network: two parallel two-hop paths from src to dst plus
+	// a direct link, all capacity 10.
+	n := spef.NewNetwork()
+	src := n.AddNode("src")
+	mid1 := n.AddNode("mid1")
+	mid2 := n.AddNode("mid2")
+	dst := n.AddNode("dst")
+	for _, e := range [][2]int{{src, mid1}, {src, mid2}, {mid1, dst}, {mid2, dst}, {src, dst}} {
+		if _, _, err := n.AddDuplex(e[0], e[1], 10); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 12 units of traffic from src to dst: more than the direct link can
+	// carry, so optimal TE must split.
+	d := spef.NewDemands(n)
+	if err := d.Add(src, dst, 12); err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize with the default objective (beta = 1, proportional load
+	// balance).
+	p, err := spef.Optimize(n, d, spef.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("first weights: ", compact(p.FirstWeights()))
+	fmt.Println("second weights:", compact(p.SecondWeights()))
+
+	ft, err := p.ForwardingTable(src, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forwarding table at %s toward %s:\n", n.NodeName(src), n.NodeName(dst))
+	for _, e := range ft.Entries {
+		fmt.Printf("  next hop %-5s ratio %.3f (paths at second-weight lengths %v)\n",
+			n.NodeName(e.NextHop), e.Ratio, e.PathLengths)
+	}
+
+	report, err := p.Evaluate(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SPEF: MLU %.3f, utility %.3f\n", report.MLU, report.Utility)
+
+	ospf, err := spef.EvaluateOSPF(n, d, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OSPF: MLU %.3f, utility %.3f\n", ospf.MLU, ospf.Utility)
+}
+
+func compact(v []float64) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = fmt.Sprintf("%.3f", x)
+	}
+	return out
+}

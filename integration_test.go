@@ -1,0 +1,182 @@
+package spef
+
+// Cross-module integration and property tests driving the public API on
+// randomized instances: SPEF's end-to-end invariants must hold on
+// networks no individual unit test anticipated.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInstance builds a random connected network and a sparse demand
+// set at a moderate load.
+func randomInstance(t *testing.T, seed int64) (*Network, *Demands) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 5 + rng.Intn(8)
+	links := 2*(nodes-1) + 2*rng.Intn(nodes)
+	n, err := RandomNetwork(seed, nodes, links)
+	if err != nil {
+		t.Fatalf("RandomNetwork(%d): %v", seed, err)
+	}
+	d := NewDemands(n)
+	pairs := 2 + rng.Intn(4)
+	for i := 0; i < pairs; i++ {
+		s, u := rng.Intn(nodes), rng.Intn(nodes)
+		if s == u {
+			continue
+		}
+		if err := d.Add(s, u, 0.2+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Total() == 0 {
+		if err := d.Add(0, 1, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Normalize to a strictly feasible operating point: scale so the
+	// best possible routing would see 60-85% bottleneck utilization.
+	mlu, err := MinMLU(n, d)
+	if err != nil {
+		t.Fatalf("MinMLU: %v", err)
+	}
+	scaled, err := d.Scaled((0.6 + 0.25*rng.Float64()) / mlu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, scaled
+}
+
+func TestRandomInstancesEndToEnd(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			n, d := randomInstance(t, seed)
+			p, err := Optimize(n, d, Config{MaxIterations: 1200})
+			if err != nil {
+				t.Fatalf("seed %d: Optimize: %v", seed, err)
+			}
+			report, err := p.Evaluate(d)
+			if err != nil {
+				t.Fatalf("seed %d: Evaluate: %v", seed, err)
+			}
+			// Invariant 1: SPEF respects capacities (feasible instances,
+			// barrier objective) up to the NEM tolerance.
+			if report.MLU > 1.02 {
+				t.Errorf("seed %d: SPEF MLU = %v, want <= ~1", seed, report.MLU)
+			}
+			// Invariant 2: SPEF's utility is at least OSPF's (it is the
+			// optimum; allow small NEM slack).
+			ospf, err := EvaluateOSPF(n, d, nil)
+			if err != nil {
+				t.Fatalf("seed %d: EvaluateOSPF: %v", seed, err)
+			}
+			if !math.IsInf(ospf.Utility, -1) && report.Utility < ospf.Utility-0.05*math.Abs(ospf.Utility)-0.05 {
+				t.Errorf("seed %d: SPEF utility %v < OSPF %v", seed, report.Utility, ospf.Utility)
+			}
+			// Invariant 3: utility is within slack of the optimal-TE
+			// reference.
+			opt, err := OptimalUtility(n, d)
+			if err != nil {
+				t.Fatalf("seed %d: OptimalUtility: %v", seed, err)
+			}
+			if report.Utility < opt-0.1*math.Abs(opt)-0.1 {
+				t.Errorf("seed %d: SPEF utility %v far below optimum %v", seed, report.Utility, opt)
+			}
+			// Invariant 4: split ratios are normalized wherever defined.
+			for s := 0; s < n.NumNodes(); s++ {
+				for u := 0; u < n.NumNodes(); u++ {
+					if s == u || d.At(s, u) == 0 {
+						continue
+					}
+					split, err := p.SplitRatios(u)
+					if err != nil {
+						t.Fatalf("seed %d: SplitRatios(%d): %v", seed, u, err)
+					}
+					var sum float64
+					var cnt int
+					for e := 0; e < n.NumLinks(); e++ {
+						from, _, _ := n.Link(e)
+						if from == s && split[e] > 0 {
+							sum += split[e]
+							cnt++
+						}
+					}
+					if cnt > 0 && math.Abs(sum-1) > 1e-6 {
+						t.Errorf("seed %d: splits at node %d toward %d sum to %v", seed, s, u, sum)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRandomInstancesPEFTAndWeights(t *testing.T) {
+	for seed := int64(20); seed <= 26; seed++ {
+		n, d := randomInstance(t, seed)
+		p, err := Optimize(n, d, Config{MaxIterations: 1000})
+		if err != nil {
+			t.Fatalf("seed %d: Optimize: %v", seed, err)
+		}
+		w := p.FirstWeights()
+		for e, x := range w {
+			if !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+				t.Fatalf("seed %d: weight[%d] = %v, want positive finite", seed, e, x)
+			}
+		}
+		// PEFT with the same weights must route everything (conservation
+		// is internal; here: a finite, positive report).
+		peft, err := EvaluatePEFT(n, d, w)
+		if err != nil {
+			t.Fatalf("seed %d: EvaluatePEFT: %v", seed, err)
+		}
+		if peft.MLU <= 0 {
+			t.Errorf("seed %d: PEFT carried no traffic", seed)
+		}
+		// Integer rounding stays in OSPF's range.
+		iw, scale, err := p.IntegerFirstWeights()
+		if err != nil {
+			t.Fatalf("seed %d: IntegerFirstWeights: %v", seed, err)
+		}
+		if scale <= 0 {
+			t.Errorf("seed %d: scale = %v", seed, scale)
+		}
+		for e, x := range iw {
+			if x < 1 || x != math.Trunc(x) {
+				t.Errorf("seed %d: integer weight[%d] = %v", seed, e, x)
+			}
+		}
+	}
+}
+
+func TestSimulationAgreesWithAnalyticOnRandomNet(t *testing.T) {
+	n, d := randomInstance(t, 31)
+	p, err := Optimize(n, d, Config{MaxIterations: 1000})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	analytic, err := p.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.Simulate(d, SimulationConfig{
+		CapacityBitsPerUnit: 1e6,
+		DurationSeconds:     150,
+		Seed:                9,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var worst float64
+	for e := range analytic.LinkUtilization {
+		if diff := math.Abs(sim.LinkUtilization[e] - analytic.LinkUtilization[e]); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 0.06 {
+		t.Errorf("worst simulated-vs-analytic utilization gap = %v, want <= 0.06", worst)
+	}
+}

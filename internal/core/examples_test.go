@@ -1,0 +1,145 @@
+package core
+
+// Tests for the paper's worked objective examples (Section III-B):
+// Example 2, (c,2) proportional load balance — q_ij = c_ij, beta = 2 —
+// minimizes total M/M/1 queueing delay with optimal weights
+// w = c/(c-f)^2; Example 3, (d,0) — q_ij = d_ij, beta = 0 — minimizes
+// total processing/propagation delay with w = d on unsaturated links.
+// These exercise the non-uniform q code path end to end.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func TestExampleC2ProportionalLoadBalance(t *testing.T) {
+	g, tm := fig1Setup(t)
+	q := g.Capacities() // q_ij = c_ij
+	obj, err := objective.NewQBeta(2, g.NumLinks(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 20000})
+	if err != nil {
+		t.Fatalf("FirstWeights: %v", err)
+	}
+	// Optimal weights are w = c/(c-f)^2 (the paper's Example 2 formula).
+	for _, l := range g.Links() {
+		s := l.Cap - r.Budget[l.ID]
+		want := l.Cap / (s * s)
+		if math.Abs(r.W[l.ID]-want)/want > 1e-6 {
+			t.Errorf("link %d: w = %v, want c/s^2 = %v", l.ID, r.W[l.ID], want)
+		}
+	}
+	// The (c,2) optimum minimizes total M/M/1 delay sum f/(c-f): compare
+	// against a grid search over the 1->3 split x.
+	delay := func(x float64) float64 {
+		// f = (x, 0.9, 1-x, 1-x) on unit-capacity links.
+		d := x/(1-x) + 0.9/0.1
+		d += 2 * ((1 - x) / x)
+		return d
+	}
+	bestX, bestD := 0.0, math.Inf(1)
+	for i := 1; i < 1000; i++ {
+		x := float64(i) / 1000
+		if d := delay(x); d < bestD {
+			bestX, bestD = x, d
+		}
+	}
+	direct, _ := g.FindLink(0, 2)
+	if math.Abs(r.Budget[direct]-bestX) > 0.01 {
+		t.Errorf("(c,2) direct split = %v, grid-search optimum %v", r.Budget[direct], bestX)
+	}
+}
+
+func TestExampleD0MinDelayRouting(t *testing.T) {
+	// (d,0): q = per-link propagation delay, beta = 0. With d favoring
+	// the detour, min-total-delay routing sends the (1,3) demand over it.
+	g, tm := fig1Setup(t)
+	d := []float64{5, 1, 1, 1} // direct link has 5x the delay
+	obj, err := objective.NewQBeta(0, g.NumLinks(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 10000})
+	if err != nil {
+		t.Fatalf("FirstWeights: %v", err)
+	}
+	detour, _ := g.FindLink(0, 1)
+	if r.Budget[detour] < 0.95 {
+		t.Errorf("detour flow = %v, want ~1 (delay-optimal)", r.Budget[detour])
+	}
+	// Unsaturated links get w = d (the paper: "the optimal link weights
+	// w_ij = d_ij for unsaturated link").
+	for _, l := range g.Links() {
+		if r.Budget[l.ID] < l.Cap-1e-6 && l.ID != 0 {
+			if math.Abs(r.W[l.ID]-d[l.ID]) > 0.25 {
+				t.Errorf("link %d: w = %v, want d = %v", l.ID, r.W[l.ID], d[l.ID])
+			}
+		}
+	}
+}
+
+func TestTheorem34ChargeEquilibrium(t *testing.T) {
+	// Theorem 3.4: at optimum, with n_ij = w_ij * s_ij, each n solves
+	// Link_ij(V; w) in its charge form — equivalently s = V'^{-1}(w)
+	// wherever spare is interior. Verified on the simple network, beta=1.
+	g := topo.Simple()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.SimpleDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.MustQBeta(1, g.NumLinks(), nil)
+	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range g.Links() {
+		s := l.Cap - r.Budget[l.ID]
+		if s <= 1e-6 || s >= l.Cap-1e-6 {
+			continue // boundary cases excluded from the equilibrium check
+		}
+		n := r.W[l.ID] * s
+		// For beta=1, V' = q/s so w*s = q: the charge per unit time is
+		// exactly q (proportional fairness's unit-payment property).
+		if math.Abs(n-obj.Q(l.ID)) > 1e-6 {
+			t.Errorf("link %d: charge w*s = %v, want q = %v", l.ID, n, obj.Q(l.ID))
+		}
+	}
+}
+
+func TestNonUniformQFrankWolfeAgreement(t *testing.T) {
+	// Cross-check the q-weighted objective against Frank-Wolfe on a
+	// non-trivial network.
+	g := topo.Simple()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.SimpleDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float64, g.NumLinks())
+	for i := range q {
+		q[i] = 0.5 + float64(i%3)
+	}
+	obj, err := objective.NewQBeta(2, g.NumLinks(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := mcf.FrankWolfe(g, tm, obj, mcf.FWOptions{MaxIters: 8000, RelGap: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uAlg := objective.TotalUtility(obj, g, r.Flow.Total)
+	uOpt := objective.TotalUtility(obj, g, fw.Flow.Total)
+	if uAlg < uOpt-1e-3*math.Abs(uOpt)-1e-3 {
+		t.Errorf("algorithm 1 utility %v below FW optimum %v", uAlg, uOpt)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// Property tests of the full SPEF pipeline on randomized networks and
+// demands (testing/quick): conservation, split normalization, budget
+// compliance, and DAG coverage must hold on instances no example
+// anticipated.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func TestSPEFPipelinePropertiesQuick(t *testing.T) {
+	f := func(seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(7)
+		g, err := topo.Random(seed, n, 2*(n-1)+2*rng.Intn(n))
+		if err != nil {
+			return fmt.Errorf("topo: %w", err)
+		}
+		tm := traffic.NewMatrix(n)
+		for i := 0; i < 3; i++ {
+			s, u := rng.Intn(n), rng.Intn(n)
+			if s != u {
+				if err := tm.Add(s, u, 0.2+rng.Float64()); err != nil {
+					return fmt.Errorf("tm: %w", err)
+				}
+			}
+		}
+		if tm.Total() == 0 {
+			return nil // nothing to route
+		}
+		// Normalize to 70% of the best possible bottleneck utilization.
+		mlu, err := mcf.MinMLU(g, tm)
+		if err != nil {
+			return fmt.Errorf("MinMLU: %w", err)
+		}
+		if err := tm.Scale(0.7 / mlu.MLU); err != nil {
+			return fmt.Errorf("scale: %w", err)
+		}
+		obj := objective.MustQBeta(1, g.NumLinks(), nil)
+		p, err := Build(g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 600}})
+		if err != nil {
+			return fmt.Errorf("Build: %w", err)
+		}
+		flow, err := p.Flow(tm)
+		if err != nil {
+			return fmt.Errorf("Flow: %w", err)
+		}
+		// Conservation.
+		if err := flow.CheckConservation(g, tm, 1e-6); err != nil {
+			return fmt.Errorf("conservation: %w", err)
+		}
+		// Budget compliance within the NEM tolerance.
+		var maxBudget float64
+		for _, b := range p.First.Budget {
+			if b > maxBudget {
+				maxBudget = b
+			}
+		}
+		for e := range p.First.Budget {
+			if flow.Total[e] > p.First.Budget[e]+0.05*maxBudget+1e-9 {
+				return fmt.Errorf("link %d: flow %v exceeds budget %v", e, flow.Total[e], p.First.Budget[e])
+			}
+		}
+		// DAG coverage: every link carrying optimal per-destination flow
+		// is in that destination's DAG.
+		for _, dst := range p.Dests {
+			d := p.DAGs[dst]
+			ft := p.First.Flow.PerDest[dst]
+			for e, fe := range ft {
+				if fe > 1e-5*maxBudget && !d.HasLink(g, e) {
+					return fmt.Errorf("dest %d: link %d (flow %v) outside DAG", dst, e, fe)
+				}
+			}
+			// Acyclicity of every forwarding DAG.
+			if err := d.CheckAcyclic(g); err != nil {
+				return fmt.Errorf("dest %d: %w", dst, err)
+			}
+		}
+		return nil
+	}
+	for seed := int64(1); seed <= 30; seed++ {
+		if err := f(seed); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package experiments
+
+// Extension experiments beyond the paper's tables and figures:
+//
+//   - RunControl quantifies the control-plane cost of SPEF's "one more
+//     weight": LSA flooding message counts and payload volume versus
+//     plain OSPF (the paper's conclusion asks for exactly this
+//     complexity analysis "in network environment with OSPF").
+//   - RunFailure studies robustness to single link failures: SPEF
+//     forwarding with stale weights (routers re-run Dijkstra on the new
+//     topology but keep the configured weights, as a real deployment
+//     would until re-optimization) versus full re-optimization versus
+//     OSPF.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"repro/internal/graph"
+	"repro/internal/lsa"
+	"repro/internal/mcf"
+	"repro/internal/objective"
+	"repro/internal/routing"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// ControlResult reports LSA flooding cost per network.
+type ControlResult struct {
+	Rows []ControlRow
+}
+
+// ControlRow is one network's control-plane accounting.
+type ControlRow struct {
+	ID string
+	// Messages is the LSA transmissions to flood one full origination
+	// (identical for OSPF and SPEF: same LSAs, bigger payload).
+	Messages int
+	// OSPFWords and SPEFWords are flooded payload volumes in 8-byte
+	// words.
+	OSPFWords int
+	SPEFWords int
+	// OverheadPct is the SPEF payload overhead over OSPF in percent.
+	OverheadPct float64
+}
+
+// RunControl measures flooding cost on every Table III network.
+func RunControl(Options) (*ControlResult, error) {
+	nets, err := topo.Table3Networks()
+	if err != nil {
+		return nil, err
+	}
+	res := &ControlResult{}
+	for _, n := range nets {
+		g := n.G
+		w := routing.InvCapWeights(g)
+		v := make([]float64, g.NumLinks())
+		ospf := lsa.New(g, false)
+		if _, err := ospf.OriginateAll(w, v); err != nil {
+			return nil, fmt.Errorf("control %s: %w", n.ID, err)
+		}
+		spef := lsa.New(g, true)
+		if _, err := spef.OriginateAll(w, v); err != nil {
+			return nil, fmt.Errorf("control %s: %w", n.ID, err)
+		}
+		row := ControlRow{
+			ID:        n.ID,
+			Messages:  spef.Messages,
+			OSPFWords: ospf.PayloadWords,
+			SPEFWords: spef.PayloadWords,
+		}
+		row.OverheadPct = 100 * float64(spef.PayloadWords-ospf.PayloadWords) / float64(ospf.PayloadWords)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format prints the flooding-cost table.
+func (r *ControlResult) Format(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Net. ID\tLSA msgs\tOSPF payload (words)\tSPEF payload\toverhead %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\n",
+			row.ID, row.Messages, row.OSPFWords, row.SPEFWords, row.OverheadPct)
+	}
+	tw.Flush()
+}
+
+// FailureResult reports single-link-failure robustness on Abilene.
+type FailureResult struct {
+	// Load is the pre-failure network load.
+	Load float64
+	// Rows is one entry per failed duplex pair that leaves the demands
+	// routable.
+	Rows []FailureRow
+}
+
+// FailureRow compares routing schemes after one failure.
+type FailureRow struct {
+	// FailedLink names the failed duplex pair by endpoints.
+	FailedLink string
+	// MLU per scheme; Utility per scheme (may be -Inf).
+	OSPFMLU, StaleMLU, ReoptMLU             float64
+	OSPFUtility, StaleUtility, ReoptUtility float64
+}
+
+// RunFailure evaluates every single duplex-pair failure on Abilene at
+// load 0.14: OSPF (InvCap reconverges on the surviving topology), SPEF
+// with stale weights (Dijkstra re-run, weights kept), and SPEF fully
+// re-optimized.
+func RunFailure(opts Options) (*FailureResult, error) {
+	g, err := table3Net("Abilene")
+	if err != nil {
+		return nil, err
+	}
+	base, err := networkTM("Abilene", g)
+	if err != nil {
+		return nil, err
+	}
+	const load = 0.14
+	tm, err := base.ScaledToLoad(g, load)
+	if err != nil {
+		return nil, err
+	}
+	p, err := buildSPEF(g, tm, 1, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &FailureResult{Load: load}
+	pairs := duplexPairs(g)
+	if opts.Quick && len(pairs) > 3 {
+		pairs = pairs[:3]
+	}
+	for _, pair := range pairs {
+		g2, keep, err := removeLinks(g, pair[:])
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := allReachable(g2, tm); err != nil || !ok {
+			if err != nil {
+				return nil, err
+			}
+			continue // failure disconnects a demand: skip like the paper's protocol would
+		}
+		l := g.Link(pair[0])
+		row := FailureRow{FailedLink: fmt.Sprintf("%s-%s", g.Name(l.From), g.Name(l.To))}
+
+		// OSPF reconverges with InvCap weights on the survivors.
+		ospf, err := routing.BuildOSPF(g2, tm.Destinations(), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		oFlow, err := ospf.Flow(tm)
+		if err != nil {
+			return nil, err
+		}
+		row.OSPFMLU = objective.MLU(g2, oFlow.Total)
+		row.OSPFUtility = objective.LogSpareUtility(g2, oFlow.Total)
+
+		// SPEF with stale weights: every router re-runs Dijkstra over the
+		// surviving links with the configured (old) weights; splits
+		// renormalize over the surviving DAG.
+		w2 := remap(p.W, keep)
+		v2 := remap(p.V, keep)
+		sFlow, err := staleSPEFFlow(g2, tm, w2, v2)
+		if err != nil {
+			return nil, err
+		}
+		row.StaleMLU = objective.MLU(g2, sFlow.Total)
+		row.StaleUtility = objective.LogSpareUtility(g2, sFlow.Total)
+
+		// Full re-optimization on the surviving topology.
+		p2, err := buildSPEF(g2, tm, 1, opts)
+		switch {
+		case err == nil:
+			rFlow, err := p2.Flow(tm)
+			if err != nil {
+				return nil, err
+			}
+			row.ReoptMLU = objective.MLU(g2, rFlow.Total)
+			row.ReoptUtility = objective.LogSpareUtility(g2, rFlow.Total)
+		default:
+			row.ReoptMLU = math.NaN()
+			row.ReoptUtility = math.Inf(-1)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format prints the robustness table.
+func (r *FailureResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "# single duplex failures on Abilene at load %.2f\n", r.Load)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "failed\tOSPF MLU\tstale-SPEF MLU\treopt-SPEF MLU\tOSPF util\tstale util\treopt util")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%s\t%s\t%s\n",
+			row.FailedLink, row.OSPFMLU, row.StaleMLU, row.ReoptMLU,
+			fmtVal(row.OSPFUtility), fmtVal(row.StaleUtility), fmtVal(row.ReoptUtility))
+	}
+	tw.Flush()
+}
+
+// duplexPairs lists [fwd, rev] link-ID pairs.
+func duplexPairs(g *graph.Graph) [][2]int {
+	var out [][2]int
+	seen := make(map[int]bool)
+	for _, l := range g.Links() {
+		if seen[l.ID] {
+			continue
+		}
+		if rev, ok := g.FindLink(l.To, l.From); ok && !seen[rev] {
+			out = append(out, [2]int{l.ID, rev})
+			seen[l.ID], seen[rev] = true, true
+		}
+	}
+	return out
+}
+
+// removeLinks clones g without the given links; keep[newID] = oldID.
+func removeLinks(g *graph.Graph, drop []int) (*graph.Graph, []int, error) {
+	dropSet := make(map[int]bool, len(drop))
+	for _, id := range drop {
+		dropSet[id] = true
+	}
+	g2 := graph.New(g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		g2.SetName(i, g.Name(i))
+	}
+	var keep []int
+	for _, l := range g.Links() {
+		if dropSet[l.ID] {
+			continue
+		}
+		if _, err := g2.AddLink(l.From, l.To, l.Cap); err != nil {
+			return nil, nil, err
+		}
+		keep = append(keep, l.ID)
+	}
+	return g2, keep, nil
+}
+
+// remap projects an old per-link vector onto the surviving links.
+func remap(old []float64, keep []int) []float64 {
+	out := make([]float64, len(keep))
+	for newID, oldID := range keep {
+		out[newID] = old[oldID]
+	}
+	return out
+}
+
+// allReachable checks every demand still has a route.
+func allReachable(g *graph.Graph, tm *traffic.Matrix) (bool, error) {
+	for _, t := range tm.Destinations() {
+		sp, err := graph.DijkstraTo(g, make([]float64, g.NumLinks()), t)
+		if err != nil {
+			return false, err
+		}
+		for s := 0; s < g.NumNodes(); s++ {
+			if tm.At(s, t) > 0 && sp.Dist[s] == graph.Unreachable {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// staleSPEFFlow evaluates SPEF forwarding with kept weights on a changed
+// topology: fresh Dijkstra DAGs under the stale first weights, stale
+// second weights driving the exponential split.
+func staleSPEFFlow(g *graph.Graph, tm *traffic.Matrix, w, v []float64) (*mcf.Flow, error) {
+	minW := math.Inf(1)
+	for _, x := range w {
+		if x < minW {
+			minW = x
+		}
+	}
+	dests := tm.Destinations()
+	flow := mcf.NewFlow(g, dests)
+	for _, t := range dests {
+		d, err := graph.BuildDAG(g, w, t, 0.3*minW)
+		if err != nil {
+			return nil, err
+		}
+		ratio, _ := graph.ExponentialSplits(g, d, v)
+		ft, err := graph.PropagateDown(g, d, tm.ToDestination(t), ratio)
+		if err != nil {
+			return nil, err
+		}
+		flow.PerDest[t] = ft
+	}
+	flow.RecomputeTotal()
+	return flow, nil
+}

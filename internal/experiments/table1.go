@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// Table1Result reproduces paper TABLE I: first link weights and link
+// utilizations on the Fig. 1 network under five objectives.
+type Table1Result struct {
+	// LinkNames labels the four links in the paper's row order.
+	LinkNames []string
+	// Schemes lists the column headers.
+	Schemes []string
+	// Weights[scheme] is the per-link weight vector (nil when the scheme
+	// does not define weights).
+	Weights map[string][]float64
+	// Utilization[scheme] is the per-link utilization vector.
+	Utilization map[string][]float64
+}
+
+// RunTable1 regenerates TABLE I.
+func RunTable1(opts Options) (*Table1Result, error) {
+	g := topo.Fig1()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.Fig1Demands())
+	if err != nil {
+		return nil, err
+	}
+	it1, _ := opts.iters(g.NumNodes())
+	if !opts.Quick {
+		it1 = 30000 // tiny network: buy accuracy
+	}
+	res := &Table1Result{
+		LinkNames:   []string{"(1,3)", "(3,4)", "(1,2)", "(2,3)"},
+		Weights:     make(map[string][]float64),
+		Utilization: make(map[string][]float64),
+	}
+
+	// (q,beta) schemes via Algorithm 1.
+	for _, beta := range []float64{0, 1} {
+		name := fmt.Sprintf("beta=%g", beta)
+		obj, err := objective.NewQBeta(beta, g.NumLinks(), nil)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{MaxIters: it1})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", name, err)
+		}
+		res.Schemes = append(res.Schemes, name)
+		res.Weights[name] = r.W
+		res.Utilization[name] = objective.Utilizations(g, r.Flow.Total)
+	}
+
+	// Fortz-Thorup piecewise-linear optimum via Frank-Wolfe; the weights
+	// are the marginal costs at the optimum.
+	fw, err := mcf.FrankWolfe(g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 20000, RelGap: 1e-9})
+	if err != nil {
+		return nil, fmt.Errorf("table1 Fortz-Thorup: %w", err)
+	}
+	res.Schemes = append(res.Schemes, "Fortz-Thorup")
+	res.Weights["Fortz-Thorup"] = objective.Prices(objective.FortzThorup{}, g, fw.Flow.Total)
+	res.Utilization["Fortz-Thorup"] = objective.Utilizations(g, fw.Flow.Total)
+
+	// Lexicographic min-max load balance.
+	lex, err := mcf.LexMinMax(g, tm)
+	if err != nil {
+		return nil, fmt.Errorf("table1 min-max: %w", err)
+	}
+	res.Schemes = append(res.Schemes, "min-max")
+	res.Utilization["min-max"] = objective.Utilizations(g, lex.Flow.Total)
+
+	// Plain minimum MLU (the paper's "MLU [19]" column — any solution of
+	// the family; we show the LP vertex the solver returns).
+	mlu, err := mcf.MinMLU(g, tm)
+	if err != nil {
+		return nil, fmt.Errorf("table1 min-MLU: %w", err)
+	}
+	res.Schemes = append(res.Schemes, "min-MLU")
+	res.Utilization["min-MLU"] = objective.Utilizations(g, mlu.Flow.Total)
+
+	return res, nil
+}
+
+// Format prints the table in the paper's layout.
+func (r *Table1Result) Format(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Link")
+	for _, s := range r.Schemes {
+		if r.Weights[s] != nil {
+			fmt.Fprintf(tw, "\t%s w\t%s u", s, s)
+		} else {
+			fmt.Fprintf(tw, "\t%s u", s)
+		}
+	}
+	fmt.Fprintln(tw)
+	for e, name := range r.LinkNames {
+		fmt.Fprint(tw, name)
+		for _, s := range r.Schemes {
+			if ws := r.Weights[s]; ws != nil {
+				fmt.Fprintf(tw, "\t%.2f\t%.2f", ws[e], r.Utilization[s][e])
+			} else {
+				fmt.Fprintf(tw, "\t%.2f", r.Utilization[s][e])
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

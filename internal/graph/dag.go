@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DAG is the destination-rooted shortest-path DAG ON_t of the paper: the
+// set of links that lie on some (tolerance-)shortest path toward Dst.
+//
+// A link (u,v) is included iff
+//
+//	dist[v] + w_uv - dist[u] <= tol   and   dist[v] < dist[u],
+//
+// where dist is the exact shortest distance to Dst. The strict-decrease
+// condition guarantees acyclicity even with a positive tolerance (the
+// paper's Dijkstra tolerance, Section V-G).
+type DAG struct {
+	Dst int
+	// Dist[u] is the exact shortest distance u -> Dst.
+	Dist []float64
+	// Out[u] lists the IDs of DAG links leaving u (the equal-cost next
+	// hops of u toward Dst).
+	Out [][]int
+	// In[u] lists the IDs of DAG links entering u.
+	In [][]int
+	// Tol is the equal-cost tolerance the DAG was built with.
+	Tol float64
+}
+
+// BuildDAG computes the shortest-path DAG toward dst under the given
+// weights with the given equal-cost tolerance (tol >= 0; 0 keeps exact
+// shortest paths only, up to floating-point slack of 1e-12).
+func BuildDAG(g *Graph, weights []float64, dst int, tol float64) (*DAG, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("graph: negative tolerance %v", tol)
+	}
+	sp, err := DijkstraTo(g, weights, dst)
+	if err != nil {
+		return nil, err
+	}
+	eps := tol
+	if eps == 0 {
+		eps = 1e-12
+	}
+	d := &DAG{
+		Dst:  dst,
+		Dist: sp.Dist,
+		Out:  make([][]int, g.NumNodes()),
+		In:   make([][]int, g.NumNodes()),
+		Tol:  tol,
+	}
+	for _, l := range g.links {
+		du, dv := sp.Dist[l.From], sp.Dist[l.To]
+		if du == Unreachable || dv == Unreachable {
+			continue
+		}
+		if dv+weights[l.ID]-du <= eps && dv < du {
+			d.Out[l.From] = append(d.Out[l.From], l.ID)
+			d.In[l.To] = append(d.In[l.To], l.ID)
+		}
+	}
+	return d, nil
+}
+
+// NodesDescending returns the nodes that can reach Dst ordered by
+// decreasing distance (Dst last). This is the processing order of the
+// paper's Algorithm 3 (TrafficDistribution): by the time a node is
+// visited, all upstream traffic into it has been accumulated.
+func (d *DAG) NodesDescending() []int {
+	var nodes []int
+	for u, dist := range d.Dist {
+		if dist != Unreachable {
+			nodes = append(nodes, u)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		if d.Dist[a] != d.Dist[b] {
+			return d.Dist[a] > d.Dist[b]
+		}
+		return a < b
+	})
+	return nodes
+}
+
+// HasLink reports whether link id is part of the DAG.
+func (d *DAG) HasLink(g *Graph, id int) bool {
+	l := g.Link(id)
+	for _, out := range d.Out[l.From] {
+		if out == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckAcyclic verifies that the DAG contains no directed cycle. It
+// returns nil on success; the construction invariant (strict distance
+// decrease) should make failure impossible, so this is a test oracle.
+func (d *DAG) CheckAcyclic(g *Graph) error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(d.Dist))
+	var visit func(u int) error
+	visit = func(u int) error {
+		color[u] = gray
+		for _, id := range d.Out[u] {
+			v := g.Link(id).To
+			switch color[v] {
+			case gray:
+				return fmt.Errorf("graph: DAG cycle through node %d", v)
+			case white:
+				if err := visit(v); err != nil {
+					return err
+				}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for u := range color {
+		if color[u] == white {
+			if err := visit(u); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CountPaths returns, for every node, the number of distinct DAG paths
+// from that node to Dst (as float64 to tolerate exponential counts).
+// Nodes that cannot reach Dst report 0.
+func (d *DAG) CountPaths(g *Graph) []float64 {
+	counts := make([]float64, len(d.Dist))
+	counts[d.Dst] = 1
+	// Process nodes in increasing distance (Dst first): every DAG link
+	// points from a farther node to a strictly closer one, so by the time
+	// u is processed all of its next hops are final.
+	nodes := d.NodesDescending()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		u := nodes[i]
+		if u == d.Dst {
+			continue
+		}
+		var total float64
+		for _, id := range d.Out[u] {
+			total += counts[g.Link(id).To]
+		}
+		counts[u] = total
+	}
+	return counts
+}

@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildDAGFig1EqualCost(t *testing.T) {
+	g := fig1(t)
+	// beta=1 optimal weights: paths 1->3 direct (3) and 1->2->3 (1.5+1.5)
+	// are equal cost, so the DAG toward node 3 (ID 2) must contain links
+	// (1,3), (1,2) and (2,3).
+	w := []float64{3, 10, 1.5, 1.5}
+	d, err := BuildDAG(g, w, 2, 0)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	if got := len(d.Out[0]); got != 2 {
+		t.Errorf("node 1 has %d equal-cost next hops, want 2", got)
+	}
+	if got := len(d.Out[1]); got != 1 {
+		t.Errorf("node 2 has %d next hops, want 1", got)
+	}
+	if err := d.CheckAcyclic(g); err != nil {
+		t.Errorf("CheckAcyclic: %v", err)
+	}
+}
+
+func TestBuildDAGToleranceWidens(t *testing.T) {
+	g := fig1(t)
+	// Slightly unequal paths: direct 3.0 vs detour 3.2.
+	w := []float64{3, 10, 1.6, 1.6}
+	exact, err := BuildDAG(g, w, 2, 0)
+	if err != nil {
+		t.Fatalf("BuildDAG(tol=0): %v", err)
+	}
+	if got := len(exact.Out[0]); got != 1 {
+		t.Errorf("tol=0: node 1 next hops = %d, want 1 (direct only)", got)
+	}
+	loose, err := BuildDAG(g, w, 2, 0.3)
+	if err != nil {
+		t.Fatalf("BuildDAG(tol=0.3): %v", err)
+	}
+	if got := len(loose.Out[0]); got != 2 {
+		t.Errorf("tol=0.3: node 1 next hops = %d, want 2 (detour within tolerance)", got)
+	}
+	if err := loose.CheckAcyclic(g); err != nil {
+		t.Errorf("CheckAcyclic with tolerance: %v", err)
+	}
+}
+
+func TestBuildDAGRejectsNegativeTol(t *testing.T) {
+	g := fig1(t)
+	if _, err := BuildDAG(g, []float64{1, 1, 1, 1}, 2, -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestNodesDescendingOrder(t *testing.T) {
+	g := fig1(t)
+	w := []float64{3, 10, 1.5, 1.5}
+	d, err := BuildDAG(g, w, 2, 0)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	nodes := d.NodesDescending()
+	// Node 4 (ID 3) cannot reach node 3 (ID 2), so only 3 nodes appear.
+	if len(nodes) != 3 {
+		t.Fatalf("NodesDescending returned %d nodes, want 3", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if d.Dist[nodes[i-1]] < d.Dist[nodes[i]] {
+			t.Errorf("order violated at %d: %v < %v", i, d.Dist[nodes[i-1]], d.Dist[nodes[i]])
+		}
+	}
+	if nodes[len(nodes)-1] != 2 {
+		t.Errorf("destination not last: %v", nodes)
+	}
+}
+
+func TestCountPathsFig1(t *testing.T) {
+	g := fig1(t)
+	w := []float64{3, 10, 1.5, 1.5}
+	d, err := BuildDAG(g, w, 2, 0)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	counts := d.CountPaths(g)
+	if counts[0] != 2 {
+		t.Errorf("paths from node 1 = %v, want 2", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Errorf("paths from node 2 = %v, want 1", counts[1])
+	}
+	if counts[2] != 1 {
+		t.Errorf("paths from destination = %v, want 1", counts[2])
+	}
+	if counts[3] != 0 {
+		t.Errorf("paths from disconnected node = %v, want 0", counts[3])
+	}
+}
+
+func TestEnumeratePathsFig1(t *testing.T) {
+	g := fig1(t)
+	w := []float64{3, 10, 1.5, 1.5}
+	d, err := BuildDAG(g, w, 2, 0)
+	if err != nil {
+		t.Fatalf("BuildDAG: %v", err)
+	}
+	paths := EnumeratePaths(g, d, 0, 0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if got := p.Length(w); math.Abs(got-3) > 1e-12 {
+			t.Errorf("path %v length = %v, want 3", p, got)
+		}
+		nodes := p.Nodes(g, 0)
+		if nodes == nil || nodes[len(nodes)-1] != 2 {
+			t.Errorf("path %v does not end at destination: %v", p, nodes)
+		}
+	}
+	if got := EnumeratePaths(g, d, 0, 1); len(got) != 1 {
+		t.Errorf("limit=1 returned %d paths", len(got))
+	}
+	if got := EnumeratePaths(g, d, 3, 0); got != nil {
+		t.Errorf("paths from unreachable node = %v, want nil", got)
+	}
+}
+
+func TestPathNodesRejectsNonWalk(t *testing.T) {
+	g := fig1(t)
+	// Link 1 is (3,4); starting from node 0 it is not a walk.
+	if got := (Path{1}).Nodes(g, 0); got != nil {
+		t.Errorf("Nodes on non-walk = %v, want nil", got)
+	}
+}
+
+func TestDAGPropertiesQuick(t *testing.T) {
+	// Properties on random graphs: the DAG is acyclic, every DAG link
+	// satisfies the tolerance condition, and every enumerated path's
+	// length is within n*tol of the shortest distance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		g, w := randomGraph(rng, n, rng.Intn(2*n))
+		// Shift weights to be strictly positive (like first link weights).
+		for i := range w {
+			w[i] += 0.05
+		}
+		dst := rng.Intn(n)
+		tol := rng.Float64() * 0.4
+		d, err := BuildDAG(g, w, dst, tol)
+		if err != nil {
+			return false
+		}
+		if d.CheckAcyclic(g) != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			for _, id := range d.Out[u] {
+				l := g.Link(id)
+				if d.Dist[l.To]+w[id]-d.Dist[l.From] > tol+1e-9 {
+					return false
+				}
+				if d.Dist[l.To] >= d.Dist[l.From] {
+					return false
+				}
+			}
+		}
+		src := rng.Intn(n)
+		for _, p := range EnumeratePaths(g, d, src, 50) {
+			if p.Length(w) > d.Dist[src]+float64(n)*tol+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadWeights reports a weight vector that does not match the graph or
+// contains negative/NaN entries where forbidden.
+var ErrBadWeights = errors.New("graph: bad weight vector")
+
+// Unreachable is the distance reported for nodes with no path to the
+// destination.
+const Unreachable = math.MaxFloat64
+
+// SPResult holds single-destination shortest-path distances: Dist[u] is
+// the length of the shortest u -> Dst path under the weight vector used,
+// or Unreachable if no path exists.
+type SPResult struct {
+	Dst  int
+	Dist []float64
+}
+
+// checkWeights validates a per-link weight vector for shortest-path use.
+func checkWeights(g *Graph, weights []float64) error {
+	if len(weights) != g.NumLinks() {
+		return fmt.Errorf("%w: got %d weights for %d links", ErrBadWeights, len(weights), g.NumLinks())
+	}
+	for i, w := range weights {
+		if math.IsNaN(w) || w < 0 {
+			return fmt.Errorf("%w: link %d has weight %v", ErrBadWeights, i, w)
+		}
+	}
+	return nil
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type priorityQueue struct {
+	items []pqItem
+	pos   []int // node -> index in items, or -1
+}
+
+func (q *priorityQueue) Len() int { return len(q.items) }
+
+func (q *priorityQueue) Less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
+
+func (q *priorityQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].node] = i
+	q.pos[q.items[j].node] = j
+}
+
+func (q *priorityQueue) Push(x any) {
+	it := x.(pqItem)
+	q.pos[it.node] = len(q.items)
+	q.items = append(q.items, it)
+}
+
+func (q *priorityQueue) Pop() any {
+	n := len(q.items)
+	it := q.items[n-1]
+	q.items = q.items[:n-1]
+	q.pos[it.node] = -1
+	return it
+}
+
+// DijkstraTo computes the shortest distance from every node to dst under
+// the given non-negative per-link weights (reverse Dijkstra over incoming
+// links). This is the destination-rooted orientation used by link-state
+// routing protocols.
+func DijkstraTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
+	if err := checkWeights(g, weights); err != nil {
+		return nil, err
+	}
+	if dst < 0 || dst >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: destination %d out of range", dst)
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[dst] = 0
+
+	q := &priorityQueue{pos: make([]int, n)}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	heap.Push(q, pqItem{node: dst, dist: 0})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, id := range g.InLinks(it.node) {
+			l := g.Link(id)
+			cand := it.dist + weights[id]
+			if cand < dist[l.From] {
+				dist[l.From] = cand
+				if q.pos[l.From] >= 0 {
+					q.items[q.pos[l.From]].dist = cand
+					heap.Fix(q, q.pos[l.From])
+				} else {
+					heap.Push(q, pqItem{node: l.From, dist: cand})
+				}
+			}
+		}
+	}
+	return &SPResult{Dst: dst, Dist: dist}, nil
+}
+
+// BellmanFordTo computes the same destination-rooted distances as
+// DijkstraTo using Bellman-Ford relaxation. It exists as an independent
+// oracle for testing and tolerates zero weights the same way.
+func BellmanFordTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
+	if err := checkWeights(g, weights); err != nil {
+		return nil, err
+	}
+	if dst < 0 || dst >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: destination %d out of range", dst)
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[dst] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, l := range g.links {
+			if dist[l.To] == Unreachable {
+				continue
+			}
+			if cand := dist[l.To] + weights[l.ID]; cand < dist[l.From] {
+				dist[l.From] = cand
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &SPResult{Dst: dst, Dist: dist}, nil
+}
+
+// Reachable reports whether every node can reach dst (used to validate
+// experiment topologies before running optimization).
+func Reachable(g *Graph, dst int) (bool, error) {
+	w := make([]float64, g.NumLinks())
+	sp, err := DijkstraTo(g, w, dst)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range sp.Dist {
+		if d == Unreachable {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDijkstraFig1(t *testing.T) {
+	g := fig1(t)
+	// Paper Table I, beta=1 first weights: w(1,3)=3, w(3,4)=10,
+	// w(1,2)=w(2,3)=1.5. Both 1->3 paths are then equal cost (3 = 1.5+1.5).
+	w := []float64{3, 10, 1.5, 1.5}
+	sp, err := DijkstraTo(g, w, 2)
+	if err != nil {
+		t.Fatalf("DijkstraTo: %v", err)
+	}
+	want := []float64{3, 1.5, 0, Unreachable}
+	for u, d := range want {
+		if sp.Dist[u] != d {
+			t.Errorf("Dist[%d] = %v, want %v", u, sp.Dist[u], d)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(3)
+	mustLink(t, g, 0, 1, 1)
+	sp, err := DijkstraTo(g, []float64{1}, 1)
+	if err != nil {
+		t.Fatalf("DijkstraTo: %v", err)
+	}
+	if sp.Dist[2] != Unreachable {
+		t.Errorf("Dist[2] = %v, want Unreachable", sp.Dist[2])
+	}
+	if sp.Dist[0] != 1 {
+		t.Errorf("Dist[0] = %v, want 1", sp.Dist[0])
+	}
+}
+
+func TestDijkstraRejectsBadInput(t *testing.T) {
+	g := fig1(t)
+	if _, err := DijkstraTo(g, []float64{1, 2}, 0); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("short weights: err = %v, want ErrBadWeights", err)
+	}
+	if _, err := DijkstraTo(g, []float64{1, 1, 1, -1}, 0); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("negative weight: err = %v, want ErrBadWeights", err)
+	}
+	if _, err := DijkstraTo(g, []float64{1, 1, 1, math.NaN()}, 0); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("NaN weight: err = %v, want ErrBadWeights", err)
+	}
+	if _, err := DijkstraTo(g, []float64{1, 1, 1, 1}, 9); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+func TestDijkstraZeroWeights(t *testing.T) {
+	g := fig1(t)
+	sp, err := DijkstraTo(g, make([]float64, 4), 3)
+	if err != nil {
+		t.Fatalf("DijkstraTo: %v", err)
+	}
+	for u := 0; u < 4; u++ {
+		if sp.Dist[u] != 0 {
+			t.Errorf("Dist[%d] = %v, want 0 under all-zero weights", u, sp.Dist[u])
+		}
+	}
+}
+
+// randomGraph builds a random strongly-connected-ish digraph: a directed
+// ring guarantees reachability, plus extra random chords.
+func randomGraph(rng *rand.Rand, n, extra int) (*Graph, []float64) {
+	g := New(n)
+	var weights []float64
+	addLink := func(u, v int) {
+		if u == v {
+			return
+		}
+		if _, err := g.AddLink(u, v, 1+rng.Float64()*9); err == nil {
+			weights = append(weights, rng.Float64()*10)
+		}
+	}
+	for i := 0; i < n; i++ {
+		addLink(i, (i+1)%n)
+	}
+	for i := 0; i < extra; i++ {
+		addLink(rng.Intn(n), rng.Intn(n))
+	}
+	return g, weights
+}
+
+func TestDijkstraMatchesBellmanFordRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(14)
+		g, w := randomGraph(rng, n, rng.Intn(3*n))
+		dst := rng.Intn(n)
+		dj, err := DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: DijkstraTo: %v", trial, err)
+		}
+		bf, err := BellmanFordTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: BellmanFordTo: %v", trial, err)
+		}
+		for u := range dj.Dist {
+			if math.Abs(dj.Dist[u]-bf.Dist[u]) > 1e-9 {
+				t.Fatalf("trial %d: node %d: Dijkstra %v != BellmanFord %v", trial, u, dj.Dist[u], bf.Dist[u])
+			}
+		}
+	}
+}
+
+func TestDijkstraTriangleInequalityQuick(t *testing.T) {
+	// Property: for every link (u,v), dist[u] <= w_uv + dist[v].
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g, w := randomGraph(rng, n, rng.Intn(2*n))
+		dst := rng.Intn(n)
+		sp, err := DijkstraTo(g, w, dst)
+		if err != nil {
+			return false
+		}
+		for _, l := range g.Links() {
+			if sp.Dist[l.To] == Unreachable {
+				continue
+			}
+			if sp.Dist[l.From] > w[l.ID]+sp.Dist[l.To]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := fig1(t)
+	ok, err := Reachable(g, 3)
+	if err != nil {
+		t.Fatalf("Reachable: %v", err)
+	}
+	if !ok {
+		t.Error("Reachable(fig1, node 4) = false, want true")
+	}
+	ok, err = Reachable(g, 0)
+	if err != nil {
+		t.Fatalf("Reachable: %v", err)
+	}
+	if ok {
+		t.Error("Reachable(fig1, node 1) = true, want false (no link into 1)")
+	}
+}

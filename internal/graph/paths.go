@@ -1,0 +1,61 @@
+package graph
+
+// Path is a sequence of link IDs forming a directed walk.
+type Path []int
+
+// Nodes expands a path starting at src into the node sequence it visits.
+func (p Path) Nodes(g *Graph, src int) []int {
+	nodes := make([]int, 0, len(p)+1)
+	nodes = append(nodes, src)
+	cur := src
+	for _, id := range p {
+		l := g.Link(id)
+		if l.From != cur {
+			return nil // not a walk from src
+		}
+		cur = l.To
+		nodes = append(nodes, cur)
+	}
+	return nodes
+}
+
+// Length returns the path length under the given per-link weights.
+func (p Path) Length(weights []float64) float64 {
+	var total float64
+	for _, id := range p {
+		total += weights[id]
+	}
+	return total
+}
+
+// EnumeratePaths lists every DAG path from src to the DAG's destination,
+// up to limit paths (limit <= 0 means unlimited). Paths are returned as
+// link-ID sequences. The shortest-path DAG is acyclic so enumeration
+// terminates; limit protects against exponential blow-up on dense DAGs.
+func EnumeratePaths(g *Graph, d *DAG, src int, limit int) []Path {
+	if src < 0 || src >= g.NumNodes() || d.Dist[src] == Unreachable {
+		return nil
+	}
+	var (
+		paths []Path
+		cur   []int
+	)
+	var walk func(u int) bool // returns false when limit reached
+	walk = func(u int) bool {
+		if u == d.Dst {
+			paths = append(paths, append(Path(nil), cur...))
+			return limit <= 0 || len(paths) < limit
+		}
+		for _, id := range d.Out[u] {
+			cur = append(cur, id)
+			ok := walk(g.Link(id).To)
+			cur = cur[:len(cur)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	walk(src)
+	return paths
+}

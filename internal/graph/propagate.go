@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// DownwardDAG builds the DAG of every "downward" link toward dst: links
+// (u,v) whose head is strictly closer to the destination than the tail
+// (dist[v] < dist[u]). This is the forwarding structure of downward PEFT
+// (Xu-Chiang-Rexford), a superset of the shortest-path DAG.
+func DownwardDAG(g *Graph, weights []float64, dst int) (*DAG, error) {
+	sp, err := DijkstraTo(g, weights, dst)
+	if err != nil {
+		return nil, err
+	}
+	d := &DAG{
+		Dst:  dst,
+		Dist: sp.Dist,
+		Out:  make([][]int, g.NumNodes()),
+		In:   make([][]int, g.NumNodes()),
+		Tol:  math.Inf(1),
+	}
+	for _, l := range g.links {
+		du, dv := sp.Dist[l.From], sp.Dist[l.To]
+		if du == Unreachable || dv == Unreachable {
+			continue
+		}
+		if dv < du {
+			d.Out[l.From] = append(d.Out[l.From], l.ID)
+			d.In[l.To] = append(d.In[l.To], l.ID)
+		}
+	}
+	return d, nil
+}
+
+// ExponentialSplits computes, for every DAG link, the exponentially
+// penalized split ratio
+//
+//	ratio(u->j) = e^(-cost_uj) * Z(j) / Z(u),
+//	Z(dst) = 1,  Z(u) = sum_{(u,j) in DAG} e^(-cost_uj) Z(j),
+//
+// where Z(u) equals the sum of e^(-cost(path)) over all DAG paths from u
+// to the destination. Computed in O(E) by recursion over the DAG in
+// log-space (returned as logZ) to tolerate large costs and path counts.
+//
+// With cost = the SPEF second weights on the equal-cost DAG this is the
+// paper's Eq. (22); with cost = the PEFT extra-length penalty on the
+// downward DAG it is PEFT's flow split; with cost = 0 it splits by path
+// count.
+func ExponentialSplits(g *Graph, d *DAG, cost []float64) (ratio, logZ []float64) {
+	logZ = make([]float64, g.NumNodes())
+	for i := range logZ {
+		logZ[i] = math.Inf(-1)
+	}
+	logZ[d.Dst] = 0
+	nodes := d.NodesDescending() // destination last
+	for i := len(nodes) - 1; i >= 0; i-- {
+		u := nodes[i]
+		if u == d.Dst || len(d.Out[u]) == 0 {
+			continue
+		}
+		maxTerm := math.Inf(-1)
+		for _, id := range d.Out[u] {
+			if t := -cost[id] + logZ[g.Link(id).To]; t > maxTerm {
+				maxTerm = t
+			}
+		}
+		var sum float64
+		for _, id := range d.Out[u] {
+			sum += math.Exp(-cost[id] + logZ[g.Link(id).To] - maxTerm)
+		}
+		logZ[u] = maxTerm + math.Log(sum)
+	}
+	ratio = make([]float64, g.NumLinks())
+	for _, u := range nodes {
+		if u == d.Dst {
+			continue
+		}
+		for _, id := range d.Out[u] {
+			ratio[id] = math.Exp(-cost[id] + logZ[g.Link(id).To] - logZ[u])
+		}
+	}
+	return ratio, logZ
+}
+
+// PropagateDown pushes a per-source demand vector (demand[s] = traffic
+// entering at s destined to the DAG's destination) down the DAG using
+// the given per-link split ratios: ratio[id] is the fraction of the
+// traffic accumulated at the link's tail that the tail forwards on link
+// id. For every node with traffic, the ratios of its DAG out-links must
+// sum to 1 (within 1e-6). Returns the per-link flow of this commodity.
+//
+// This is the common engine of the paper's Algorithm 3
+// (TrafficDistribution), OSPF's even ECMP split, and PEFT's exponential
+// split: they differ only in how the ratios are computed.
+func PropagateDown(g *Graph, d *DAG, demand []float64, ratio []float64) ([]float64, error) {
+	if len(demand) != g.NumNodes() {
+		return nil, fmt.Errorf("graph: demand vector has %d entries for %d nodes", len(demand), g.NumNodes())
+	}
+	if len(ratio) != g.NumLinks() {
+		return nil, fmt.Errorf("graph: ratio vector has %d entries for %d links", len(ratio), g.NumLinks())
+	}
+	flow := make([]float64, g.NumLinks())
+	acc := make([]float64, g.NumNodes())
+	for s, v := range demand {
+		if v < 0 {
+			return nil, fmt.Errorf("graph: negative demand %v at node %d", v, s)
+		}
+		if v > 0 && d.Dist[s] == Unreachable {
+			return nil, fmt.Errorf("graph: demand at node %d cannot reach destination %d", s, d.Dst)
+		}
+		acc[s] = v
+	}
+	for _, u := range d.NodesDescending() {
+		if u == d.Dst || acc[u] == 0 {
+			continue
+		}
+		var sum float64
+		for _, id := range d.Out[u] {
+			sum += ratio[id]
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return nil, fmt.Errorf("graph: split ratios at node %d sum to %v toward destination %d", u, sum, d.Dst)
+		}
+		for _, id := range d.Out[u] {
+			amt := acc[u] * ratio[id]
+			flow[id] += amt
+			acc[g.Link(id).To] += amt
+		}
+	}
+	return flow, nil
+}

@@ -1,0 +1,387 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c . x
+//	subject to  a_i . x  {<=, =, >=}  b_i     for every constraint i
+//	            x >= 0.
+//
+// It is the optimization substrate for the exact baselines of the
+// reproduction: minimum-MLU routing, lexicographic min-max load balance,
+// and minimum-cost multi-commodity flow (paper Eq. 9 and the Table I
+// baseline columns). Sizes here are modest (hundreds of variables), so a
+// dense tableau with Dantzig pricing and a Bland anti-cycling fallback is
+// simple and fast enough.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota + 1 // a.x <= b
+	EQ                // a.x == b
+	GE                // a.x >= b
+)
+
+// Constraint is one linear constraint with dense coefficients over the
+// problem's variables (missing trailing coefficients are treated as 0).
+type Constraint struct {
+	Coeffs []float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars int
+	// Obj is the minimization objective (dense, length NumVars).
+	Obj  []float64
+	Cons []Constraint
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result is the solver output. X and Obj are meaningful only when Status
+// is Optimal.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+// ErrBadProblem reports a malformed linear program.
+var ErrBadProblem = errors.New("lp: bad problem")
+
+const (
+	eps          = 1e-9
+	maxPivotMult = 200 // pivot budget = maxPivotMult * (rows + cols)
+)
+
+// NewProblem returns an empty minimization problem with n variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Obj: make([]float64, n)}
+}
+
+// AddConstraint appends a constraint; coeffs may be shorter than NumVars.
+func (p *Problem) AddConstraint(coeffs []float64, rel Rel, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs})
+}
+
+func (p *Problem) validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("%w: %d variables", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Obj) != p.NumVars {
+		return fmt.Errorf("%w: objective has %d coefficients for %d variables", ErrBadProblem, len(p.Obj), p.NumVars)
+	}
+	for i, c := range p.Cons {
+		if len(c.Coeffs) > p.NumVars {
+			return fmt.Errorf("%w: constraint %d has %d coefficients for %d variables", ErrBadProblem, i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Rel != LE && c.Rel != EQ && c.Rel != GE {
+			return fmt.Errorf("%w: constraint %d has relation %d", ErrBadProblem, i, c.Rel)
+		}
+		for j, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: constraint %d coefficient %d = %v", ErrBadProblem, i, j, v)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("%w: constraint %d rhs = %v", ErrBadProblem, i, c.RHS)
+		}
+	}
+	for j, v := range p.Obj {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: objective coefficient %d = %v", ErrBadProblem, j, v)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense simplex tableau: rows are constraints, columns are
+// structural + slack/surplus + artificial variables, with the right-hand
+// side kept separately.
+type tableau struct {
+	m, n  int // rows, total columns
+	a     [][]float64
+	b     []float64
+	basis []int // basis[i] = column basic in row i
+	nArt  int   // number of artificial columns (last nArt columns)
+}
+
+// Solve runs two-phase primal simplex on the problem.
+func Solve(p *Problem) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	t := build(p)
+	// Phase 1: minimize the sum of artificial variables.
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.n)
+		for j := t.n - t.nArt; j < t.n; j++ {
+			phase1[j] = 1
+		}
+		status, val := t.run(phase1)
+		if status == Unbounded {
+			return nil, errors.New("lp: phase 1 unbounded (internal error)")
+		}
+		if val > 1e-7 {
+			return &Result{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2: minimize the real objective (artificial columns frozen).
+	obj := make([]float64, t.n)
+	copy(obj, p.Obj)
+	status, _ := t.run(obj)
+	if status == Unbounded {
+		return &Result{Status: Unbounded}, nil
+	}
+	x := make([]float64, p.NumVars)
+	for i, col := range t.basis {
+		if col < p.NumVars {
+			x[col] = t.b[i]
+		}
+	}
+	var objVal float64
+	for j, c := range p.Obj {
+		objVal += c * x[j]
+	}
+	return &Result{Status: Optimal, X: x, Obj: objVal}, nil
+}
+
+// build converts the problem into a canonical tableau with slack,
+// surplus, and artificial columns and an initial basic feasible basis.
+func build(p *Problem) *tableau {
+	m := len(p.Cons)
+	// Count extra columns.
+	var nSlack, nArt int
+	for _, c := range p.Cons {
+		rhs := c.RHS
+		rel := c.Rel
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := p.NumVars + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     n,
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+		nArt:  nArt,
+	}
+	slackCol := p.NumVars
+	artCol := p.NumVars + nSlack
+	for i, c := range p.Cons {
+		row := make([]float64, n)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		t.b[i] = sign * c.RHS
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// run minimizes obj over the current tableau, returning the status and
+// the achieved objective value. Artificial columns are never re-entered
+// once phase 1 completes (enforced by the caller zeroing their cost and
+// driveOutArtificials removing them from the basis).
+func (t *tableau) run(obj []float64) (Status, float64) {
+	// Reduced costs: z_j = obj_j - sum_i y_i a_ij with y from the basis.
+	// Maintain them implicitly by recomputing the objective row once and
+	// updating it during pivots (standard tableau form).
+	z := make([]float64, t.n)
+	copy(z, obj)
+	var val float64
+	for i, col := range t.basis {
+		if c := obj[col]; c != 0 {
+			for j := 0; j < t.n; j++ {
+				z[j] -= c * t.a[i][j]
+			}
+			val += c * t.b[i]
+		}
+	}
+	budget := maxPivotMult * (t.m + t.n)
+	blandAfter := budget / 2
+	for iter := 0; iter < budget; iter++ {
+		// Pricing: Dantzig (most negative reduced cost), switching to
+		// Bland's rule (first negative) after a while to break cycles.
+		enter := -1
+		if iter < blandAfter {
+			best := -eps
+			for j := 0; j < t.n; j++ {
+				if z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.n; j++ {
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal, val
+		}
+		// Ratio test (Bland ties on the leaving row's basic column).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded, math.Inf(-1)
+		}
+		val += z[enter] * bestRatio
+		t.pivot(leave, enter, z)
+	}
+	// Pivot budget exhausted: report the current (feasible) point as
+	// optimal-so-far; with Bland's rule this should not happen.
+	return Optimal, val
+}
+
+// pivot performs a standard tableau pivot making column enter basic in
+// row leave, updating the reduced-cost row z alongside.
+func (t *tableau) pivot(leave, enter int, z []float64) {
+	piv := t.a[leave][enter]
+	invPiv := 1 / piv
+	rowL := t.a[leave]
+	for j := 0; j < t.n; j++ {
+		rowL[j] *= invPiv
+	}
+	t.b[leave] *= invPiv
+	rowL[enter] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		factor := t.a[i][enter]
+		if factor == 0 {
+			continue
+		}
+		rowI := t.a[i]
+		for j := 0; j < t.n; j++ {
+			rowI[j] -= factor * rowL[j]
+		}
+		rowI[enter] = 0 // exact
+		t.b[i] -= factor * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	if factor := z[enter]; factor != 0 {
+		for j := 0; j < t.n; j++ {
+			z[j] -= factor * rowL[j]
+		}
+		z[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials removes any artificial variable still basic at a
+// zero level after phase 1, pivoting in a structural column when
+// possible; rows with no eligible pivot are redundant and harmless.
+func (t *tableau) driveOutArtificials() {
+	firstArt := t.n - t.nArt
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < firstArt {
+			continue
+		}
+		for j := 0; j < firstArt; j++ {
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				z := make([]float64, t.n) // costs irrelevant for a degenerate pivot
+				t.pivot(i, j, z)
+				break
+			}
+		}
+	}
+	// Freeze all artificial columns so phase 2 can never re-enter them.
+	for i := 0; i < t.m; i++ {
+		for j := firstArt; j < t.n; j++ {
+			t.a[i][j] = 0
+		}
+	}
+	// If an artificial is still basic (redundant row), its value is 0 and
+	// its frozen column keeps it inert.
+}

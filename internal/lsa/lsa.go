@@ -1,0 +1,291 @@
+// Package lsa simulates the link-state control plane that carries SPEF's
+// two weights — the distributed deployment story of the paper. Routers
+// originate link-state advertisements (LSAs) describing their adjacent
+// links and the two configured weights, flood them with OSPF-style
+// sequence-number deduplication, and then *independently* compute their
+// SPEF forwarding state (shortest-path DAG + exponential split ratios)
+// from their own link-state database.
+//
+// The paper's key deployment claim — "each router can construct the
+// shortest paths for each destination based on the first link weights
+// and independently calculate the traffic split ratio among all
+// equal-cost shortest paths using only the second link weights" — is
+// verified by tests showing the distributed state equals the
+// centrally-computed one, at the cost of exactly one extra weight per
+// link in the flooded payload.
+package lsa
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ErrBadState reports inconsistent control-plane state.
+var ErrBadState = errors.New("lsa: bad state")
+
+// LinkState describes one adjacent link inside an LSA.
+type LinkState struct {
+	// Link is the global link ID (unique, assigned by configuration).
+	Link int
+	// To is the neighbor at the link's head.
+	To int
+	// Cap is the link capacity.
+	Cap float64
+	// W and V are the first and second SPEF weights. Plain OSPF floods
+	// only W; SPEF's "one more weight" is V.
+	W, V float64
+}
+
+// LSA is one router's link-state advertisement.
+type LSA struct {
+	// Origin is the advertising router.
+	Origin int
+	// Seq is the origin's sequence number; higher supersedes.
+	Seq int
+	// Links lists the origin's outgoing links.
+	Links []LinkState
+}
+
+// payloadWords approximates the LSA size in 8-byte words: header (2) +
+// per-link entries. withV counts the second weight (SPEF) or not (OSPF).
+func (l *LSA) payloadWords(withV bool) int {
+	per := 3 // link id, neighbor, capacity+W packed
+	if withV {
+		per = 4
+	}
+	return 2 + per*len(l.Links)
+}
+
+// Router is one simulated router: an inbox, a link-state database, and
+// independently computed forwarding state.
+type Router struct {
+	ID int
+	// db holds the freshest LSA per origin.
+	db map[int]*LSA
+	// seq is this router's origination sequence number.
+	seq int
+	// fibs maps destination -> split ratios over this router's out-links
+	// (indexed by global link ID), computed locally by Compute.
+	fibs map[int]map[int]float64
+}
+
+// ControlPlane couples the routers with the physical adjacency used for
+// flooding. Control-plane adjacencies are bidirectional (OSPF neighbors
+// exchange state over the cable regardless of the data-plane link
+// directions used in the traffic model).
+type ControlPlane struct {
+	g       *graph.Graph
+	routers []*Router
+	// neighbors[u] lists the distinct adjacent routers of u (either link
+	// direction).
+	neighbors [][]int
+	// Messages counts LSA transmissions (one per adjacency crossing).
+	Messages int
+	// PayloadWords accumulates the flooded payload volume in 8-byte
+	// words.
+	PayloadWords int
+	// withV selects whether floods carry the second weight.
+	withV bool
+}
+
+// New builds a control plane over the physical topology. withSecond
+// selects SPEF-style floods (two weights) versus plain OSPF (one).
+func New(g *graph.Graph, withSecond bool) *ControlPlane {
+	cp := &ControlPlane{g: g, withV: withSecond, neighbors: make([][]int, g.NumNodes())}
+	for u := 0; u < g.NumNodes(); u++ {
+		seen := make(map[int]bool)
+		for _, id := range g.OutLinks(u) {
+			seen[g.Link(id).To] = true
+		}
+		for _, id := range g.InLinks(u) {
+			seen[g.Link(id).From] = true
+		}
+		for v := range seen {
+			cp.neighbors[u] = append(cp.neighbors[u], v)
+		}
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		cp.routers = append(cp.routers, &Router{
+			ID:   i,
+			db:   make(map[int]*LSA),
+			fibs: make(map[int]map[int]float64),
+		})
+	}
+	return cp
+}
+
+// Router returns the router with the given ID.
+func (cp *ControlPlane) Router(id int) *Router { return cp.routers[id] }
+
+// OriginateAll makes every router advertise its outgoing links with the
+// given weight vectors and floods to quiescence, returning the number of
+// LSA transmissions.
+func (cp *ControlPlane) OriginateAll(w, v []float64) (int, error) {
+	if len(w) != cp.g.NumLinks() || len(v) != cp.g.NumLinks() {
+		return 0, fmt.Errorf("%w: weight vectors sized %d/%d for %d links",
+			ErrBadState, len(w), len(v), cp.g.NumLinks())
+	}
+	var lsas []*LSA
+	for _, r := range cp.routers {
+		r.seq++
+		l := &LSA{Origin: r.ID, Seq: r.seq}
+		for _, id := range cp.g.OutLinks(r.ID) {
+			link := cp.g.Link(id)
+			l.Links = append(l.Links, LinkState{
+				Link: id, To: link.To, Cap: link.Cap, W: w[id], V: v[id],
+			})
+		}
+		lsas = append(lsas, l)
+	}
+	return cp.flood(lsas), nil
+}
+
+// flood delivers the LSAs with OSPF-style flooding: each router installs
+// fresher LSAs and re-advertises them to every neighbor except the one
+// it learned from; stale/duplicate LSAs are acknowledged silently. The
+// return value counts transmissions.
+func (cp *ControlPlane) flood(initial []*LSA) int {
+	type envelope struct {
+		lsa  *LSA
+		to   int
+		from int // sending router (split horizon); -1 for origination
+	}
+	sent := 0
+	queue := list.New()
+	push := func(l *LSA, from, to int) {
+		queue.PushBack(envelope{lsa: l, to: to, from: from})
+		sent++
+		cp.PayloadWords += l.payloadWords(cp.withV)
+	}
+	for _, l := range initial {
+		// The origin installs its own LSA, then advertises to every
+		// neighbor.
+		cp.routers[l.Origin].install(l)
+		for _, nb := range cp.neighbors[l.Origin] {
+			push(l, l.Origin, nb)
+		}
+	}
+	for queue.Len() > 0 {
+		env := queue.Remove(queue.Front()).(envelope)
+		if !cp.routers[env.to].install(env.lsa) {
+			continue // duplicate or stale: suppressed
+		}
+		for _, nb := range cp.neighbors[env.to] {
+			if nb == env.from {
+				continue // split horizon
+			}
+			push(env.lsa, env.to, nb)
+		}
+	}
+	cp.Messages += sent
+	return sent
+}
+
+// install records the LSA if it is fresher than the stored one.
+func (r *Router) install(l *LSA) bool {
+	if cur, ok := r.db[l.Origin]; ok && cur.Seq >= l.Seq {
+		return false
+	}
+	r.db[l.Origin] = l
+	return true
+}
+
+// DatabaseComplete reports whether the router knows an LSA from every
+// node of the topology.
+func (r *Router) DatabaseComplete(n int) bool {
+	return len(r.db) == n
+}
+
+// buildView reconstructs the router's view of the topology and weights
+// from its own database — no access to the ground truth.
+func (r *Router) buildView(n, links int) (*graph.Graph, []float64, []float64, error) {
+	type edge struct {
+		state LinkState
+		from  int
+	}
+	edges := make([]edge, links)
+	present := make([]bool, links)
+	for origin, l := range r.db {
+		for _, ls := range l.Links {
+			if ls.Link < 0 || ls.Link >= links {
+				return nil, nil, nil, fmt.Errorf("%w: router %d: LSA link %d out of range", ErrBadState, r.ID, ls.Link)
+			}
+			edges[ls.Link] = edge{state: ls, from: origin}
+			present[ls.Link] = true
+		}
+	}
+	g := graph.New(n)
+	w := make([]float64, links)
+	v := make([]float64, links)
+	for id, e := range edges {
+		if !present[id] {
+			return nil, nil, nil, fmt.Errorf("%w: router %d: link %d missing from database", ErrBadState, r.ID, id)
+		}
+		got, err := g.AddLink(e.from, e.state.To, e.state.Cap)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if got != id {
+			return nil, nil, nil, fmt.Errorf("%w: router %d: link ID mismatch %d != %d", ErrBadState, r.ID, got, id)
+		}
+		w[id] = e.state.W
+		v[id] = e.state.V
+	}
+	return g, w, v, nil
+}
+
+// Compute derives this router's SPEF forwarding state for the given
+// destinations entirely from its link-state database: Dijkstra with the
+// flooded first weights (equal-cost tolerance tol) and the exponential
+// split of Eq. (22) with the flooded second weights.
+func (r *Router) Compute(n, links int, dests []int, tol float64) error {
+	g, w, v, err := r.buildView(n, links)
+	if err != nil {
+		return err
+	}
+	for _, t := range dests {
+		d, err := graph.BuildDAG(g, w, t, tol)
+		if err != nil {
+			return err
+		}
+		ratio, _ := graph.ExponentialSplits(g, d, v)
+		fib := make(map[int]float64)
+		for _, id := range d.Out[r.ID] {
+			fib[id] = ratio[id]
+		}
+		r.fibs[t] = fib
+	}
+	return nil
+}
+
+// Splits returns the router's computed split ratios toward dst (global
+// link ID -> ratio over this router's out-links).
+func (r *Router) Splits(dst int) (map[int]float64, bool) {
+	f, ok := r.fibs[dst]
+	return f, ok
+}
+
+// AssembleSplits merges every router's locally computed FIB into a
+// network-wide per-destination split table, the same shape as the
+// centralized core.Protocol.Splits — used to verify distributed =
+// centralized.
+func (cp *ControlPlane) AssembleSplits(dests []int, links int) (map[int][]float64, error) {
+	out := make(map[int][]float64, len(dests))
+	for _, t := range dests {
+		ratio := make([]float64, links)
+		for _, r := range cp.routers {
+			fib, ok := r.Splits(t)
+			if !ok {
+				return nil, fmt.Errorf("%w: router %d has no FIB for destination %d", ErrBadState, r.ID, t)
+			}
+			for id, x := range fib {
+				ratio[id] = x
+			}
+		}
+		out[t] = ratio
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package lsa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func floodCernet2(t *testing.T, withSecond bool) (*ControlPlane, *graph.Graph, []float64, []float64) {
+	t.Helper()
+	g := topo.Cernet2()
+	w := make([]float64, g.NumLinks())
+	v := make([]float64, g.NumLinks())
+	for i := range w {
+		w[i] = 1 + float64(i%5)
+		v[i] = float64(i%3) * 0.5
+	}
+	cp := New(g, withSecond)
+	if _, err := cp.OriginateAll(w, v); err != nil {
+		t.Fatalf("OriginateAll: %v", err)
+	}
+	return cp, g, w, v
+}
+
+func TestFloodingReachesEveryRouter(t *testing.T) {
+	cp, g, _, _ := floodCernet2(t, true)
+	for i := 0; i < g.NumNodes(); i++ {
+		if !cp.Router(i).DatabaseComplete(g.NumNodes()) {
+			t.Errorf("router %d database incomplete: %d LSAs", i, len(cp.Router(i).db))
+		}
+	}
+	if cp.Messages == 0 {
+		t.Error("no messages counted")
+	}
+	// Flooding with split horizon sends each LSA at most once per
+	// adjacency direction: N LSAs * 2E is a hard upper bound.
+	if bound := g.NumNodes() * 2 * g.NumLinks(); cp.Messages > bound {
+		t.Errorf("messages = %d exceeds flooding bound %d", cp.Messages, bound)
+	}
+}
+
+func TestReoriginationSupersedes(t *testing.T) {
+	cp, g, w, v := floodCernet2(t, true)
+	w2 := append([]float64(nil), w...)
+	w2[0] = 99
+	if _, err := cp.OriginateAll(w2, v); err != nil {
+		t.Fatalf("re-OriginateAll: %v", err)
+	}
+	// Every router sees the new weight for link 0.
+	origin := g.Link(0).From
+	for i := 0; i < g.NumNodes(); i++ {
+		lsa := cp.Router(i).db[origin]
+		found := false
+		for _, ls := range lsa.Links {
+			if ls.Link == 0 && ls.W == 99 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("router %d did not learn the updated weight", i)
+		}
+	}
+}
+
+func TestPayloadOneMoreWeight(t *testing.T) {
+	// The repository's namesake check: flooding both weights costs one
+	// extra word per link versus OSPF's single weight — and nothing else.
+	ospf, g, _, _ := floodCernet2(t, false)
+	spef, _, _, _ := floodCernet2(t, true)
+	if spef.Messages != ospf.Messages {
+		t.Errorf("SPEF floods %d messages, OSPF %d — counts must match", spef.Messages, ospf.Messages)
+	}
+	if spef.PayloadWords <= ospf.PayloadWords {
+		t.Errorf("SPEF payload %d not larger than OSPF %d", spef.PayloadWords, ospf.PayloadWords)
+	}
+	// Per-message overhead: exactly one word per advertised link.
+	extra := spef.PayloadWords - ospf.PayloadWords
+	perLink := float64(extra) / float64(ospf.Messages)
+	if perLink > float64(g.NumLinks()) {
+		t.Errorf("overhead %v words/message implausible", perLink)
+	}
+}
+
+func TestDistributedEqualsCentralized(t *testing.T) {
+	// The paper's deployment claim, end to end: flood the two optimized
+	// weight vectors, let every router compute its own FIB from its
+	// database, and verify the assembled state matches the centralized
+	// SPEF protocol exactly.
+	g := topo.Simple()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.SimpleDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.MustQBeta(1, g.NumLinks(), nil)
+	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 8000}})
+	if err != nil {
+		t.Fatalf("core.Build: %v", err)
+	}
+	cp := New(g, true)
+	if _, err := cp.OriginateAll(p.W, p.V); err != nil {
+		t.Fatalf("OriginateAll: %v", err)
+	}
+	// NOTE: routers must use the same equal-cost tolerance as the
+	// centralized pipeline; read it off the built DAGs.
+	for i := 0; i < g.NumNodes(); i++ {
+		for _, dst := range p.Dests {
+			tol := p.DAGs[dst].Tol
+			if err := cp.Router(i).Compute(g.NumNodes(), g.NumLinks(), []int{dst}, tol); err != nil {
+				t.Fatalf("router %d Compute: %v", i, err)
+			}
+		}
+	}
+	assembled, err := cp.AssembleSplits(p.Dests, g.NumLinks())
+	if err != nil {
+		t.Fatalf("AssembleSplits: %v", err)
+	}
+	for _, dst := range p.Dests {
+		want := p.Splits[dst]
+		got := assembled[dst]
+		for e := range want {
+			if math.Abs(got[e]-want[e]) > 1e-9 {
+				t.Errorf("dest %d link %d: distributed %v != centralized %v", dst, e, got[e], want[e])
+			}
+		}
+	}
+}
+
+func TestPartitionedRouterIncomplete(t *testing.T) {
+	// Failure injection: a node with no links never hears any LSA.
+	g := graph.New(3)
+	if _, _, err := g.AddDuplex(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is isolated.
+	cp := New(g, true)
+	if _, err := cp.OriginateAll([]float64{1, 1}, []float64{0, 0}); err != nil {
+		t.Fatalf("OriginateAll: %v", err)
+	}
+	if cp.Router(2).DatabaseComplete(3) {
+		t.Error("isolated router claims a complete database")
+	}
+	// The connected pair still exchanges state normally.
+	if !cp.Router(0).DatabaseComplete(3) && len(cp.Router(0).db) != 3 {
+		// Router 2 originates an empty LSA but cannot flood it, so the
+		// connected routers know only each other (2 LSAs).
+		if len(cp.Router(0).db) != 2 {
+			t.Errorf("router 0 database has %d LSAs, want 2", len(cp.Router(0).db))
+		}
+	}
+}
+
+func TestOriginateAllValidation(t *testing.T) {
+	g := topo.Fig1()
+	cp := New(g, true)
+	if _, err := cp.OriginateAll([]float64{1}, []float64{1}); err == nil {
+		t.Error("short weight vectors accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package mcf implements the multi-commodity flow core of the
+// reproduction: destination-aggregated flow vectors with feasibility
+// checks, all-or-nothing shortest-path assignment, a Frank-Wolfe solver
+// for convex-cost (optimal) traffic engineering, and LP-based baselines
+// (minimum MLU, lexicographic min-max load balance, minimum-cost MCF —
+// paper Eqs. 2 and 9).
+//
+// Commodities follow the paper's convention: one commodity per
+// destination node t, aggregating all sources (Section II-A).
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// ErrInfeasible reports that demands cannot be routed within the
+// network's capacities (or cannot be routed at all).
+var ErrInfeasible = errors.New("mcf: infeasible")
+
+// Flow is a destination-aggregated multi-commodity flow: PerDest[t][e]
+// is the flow of commodity t (traffic destined to node t) on link e, and
+// Total[e] the aggregate f_e.
+type Flow struct {
+	PerDest map[int][]float64
+	Total   []float64
+}
+
+// NewFlow returns an all-zero flow for the given destinations.
+func NewFlow(g *graph.Graph, dests []int) *Flow {
+	f := &Flow{
+		PerDest: make(map[int][]float64, len(dests)),
+		Total:   make([]float64, g.NumLinks()),
+	}
+	for _, t := range dests {
+		f.PerDest[t] = make([]float64, g.NumLinks())
+	}
+	return f
+}
+
+// Clone returns a deep copy of the flow.
+func (f *Flow) Clone() *Flow {
+	c := &Flow{
+		PerDest: make(map[int][]float64, len(f.PerDest)),
+		Total:   append([]float64(nil), f.Total...),
+	}
+	for t, v := range f.PerDest {
+		c.PerDest[t] = append([]float64(nil), v...)
+	}
+	return c
+}
+
+// RecomputeTotal rebuilds Total from the per-destination flows.
+func (f *Flow) RecomputeTotal() {
+	for i := range f.Total {
+		f.Total[i] = 0
+	}
+	for _, v := range f.PerDest {
+		for i, x := range v {
+			f.Total[i] += x
+		}
+	}
+}
+
+// Blend sets f to (1-gamma)*f + gamma*g, the Frank-Wolfe step.
+func (f *Flow) Blend(other *Flow, gamma float64) {
+	for t, v := range f.PerDest {
+		o := other.PerDest[t]
+		for i := range v {
+			v[i] = (1-gamma)*v[i] + gamma*o[i]
+		}
+	}
+	for i := range f.Total {
+		f.Total[i] = (1-gamma)*f.Total[i] + gamma*other.Total[i]
+	}
+}
+
+// CheckConservation verifies that the flow routes exactly the demand
+// matrix: for every destination t and node s != t, the net outflow of
+// commodity t at s equals the demand d^t_s, and no commodity flow is
+// negative. tol is the absolute slack allowed per node.
+func (f *Flow) CheckConservation(g *graph.Graph, tm *traffic.Matrix, tol float64) error {
+	for _, t := range tm.Destinations() {
+		ft, ok := f.PerDest[t]
+		if !ok {
+			return fmt.Errorf("mcf: flow missing commodity for destination %d", t)
+		}
+		for e, v := range ft {
+			if v < -tol {
+				return fmt.Errorf("mcf: commodity %d has negative flow %v on link %d", t, v, e)
+			}
+		}
+		for s := 0; s < g.NumNodes(); s++ {
+			if s == t {
+				continue
+			}
+			var net float64
+			for _, id := range g.OutLinks(s) {
+				net += ft[id]
+			}
+			for _, id := range g.InLinks(s) {
+				net -= ft[id]
+			}
+			if want := tm.At(s, t); math.Abs(net-want) > tol {
+				return fmt.Errorf("mcf: commodity %d at node %d: net outflow %v, want %v", t, s, net, want)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCapacity verifies Total <= capacity + tol on every link.
+func (f *Flow) CheckCapacity(g *graph.Graph, tol float64) error {
+	for _, l := range g.Links() {
+		if f.Total[l.ID] > l.Cap+tol {
+			return fmt.Errorf("%w: link %d carries %v > capacity %v", ErrInfeasible, l.ID, f.Total[l.ID], l.Cap)
+		}
+	}
+	return nil
+}

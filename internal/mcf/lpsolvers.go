@@ -1,0 +1,312 @@
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/traffic"
+)
+
+// MLUResult is the output of MinMLU.
+type MLUResult struct {
+	Flow *Flow
+	// MLU is the minimized maximum link utilization.
+	MLU float64
+}
+
+// lpLayout maps (destination index, link) pairs to LP variables and
+// builds the shared per-destination flow-conservation constraints.
+type lpLayout struct {
+	g     *graph.Graph
+	dests []int
+	e     int // links
+}
+
+func newLayout(g *graph.Graph, tm *traffic.Matrix) *lpLayout {
+	return &lpLayout{g: g, dests: tm.Destinations(), e: g.NumLinks()}
+}
+
+// vars returns the number of flow variables.
+func (ly *lpLayout) vars() int { return len(ly.dests) * ly.e }
+
+// varOf returns the LP column of commodity index ti on link e.
+func (ly *lpLayout) varOf(ti, e int) int { return ti*ly.e + e }
+
+// addConservation appends the flow-conservation equalities for every
+// commodity and every node except the commodity's destination (whose row
+// is redundant). extra is the number of additional trailing LP variables
+// (e.g. the MLU variable) so coefficient rows are sized correctly.
+func (ly *lpLayout) addConservation(p *lp.Problem, tm *traffic.Matrix, extra int) {
+	n := ly.vars() + extra
+	for ti, t := range ly.dests {
+		for s := 0; s < ly.g.NumNodes(); s++ {
+			if s == t {
+				continue
+			}
+			row := make([]float64, n)
+			for _, id := range ly.g.OutLinks(s) {
+				row[ly.varOf(ti, id)] += 1
+			}
+			for _, id := range ly.g.InLinks(s) {
+				row[ly.varOf(ti, id)] -= 1
+			}
+			p.AddConstraint(row, lp.EQ, tm.At(s, t))
+		}
+	}
+}
+
+// extract converts an LP solution into a Flow.
+func (ly *lpLayout) extract(x []float64) *Flow {
+	f := NewFlow(ly.g, ly.dests)
+	for ti, t := range ly.dests {
+		ft := f.PerDest[t]
+		for e := 0; e < ly.e; e++ {
+			if v := x[ly.varOf(ti, e)]; v > 0 {
+				ft[e] = v
+			}
+		}
+	}
+	f.RecomputeTotal()
+	return f
+}
+
+// MinMLU solves the minimum maximum-link-utilization routing LP
+// (paper Eq. 2): minimize theta subject to multi-commodity flow
+// conservation and f_e <= theta * c_e.
+func MinMLU(g *graph.Graph, tm *traffic.Matrix) (*MLUResult, error) {
+	ly := newLayout(g, tm)
+	if len(ly.dests) == 0 {
+		return &MLUResult{Flow: NewFlow(g, nil), MLU: 0}, nil
+	}
+	nv := ly.vars() + 1 // + theta
+	theta := nv - 1
+	p := lp.NewProblem(nv)
+	p.Obj[theta] = 1
+	ly.addConservation(p, tm, 1)
+	for _, l := range g.Links() {
+		row := make([]float64, nv)
+		for ti := range ly.dests {
+			row[ly.varOf(ti, l.ID)] = 1
+		}
+		row[theta] = -l.Cap
+		p.AddConstraint(row, lp.LE, 0)
+	}
+	r, err := lp.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	switch r.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, fmt.Errorf("%w: demands cannot be routed", ErrInfeasible)
+	default:
+		return nil, fmt.Errorf("mcf: MinMLU LP status %v", r.Status)
+	}
+	return &MLUResult{Flow: ly.extract(r.X), MLU: r.X[theta]}, nil
+}
+
+// MinCostMCF solves the capacitated minimum-cost multi-commodity flow of
+// paper Eq. (9): minimize sum_e w_e f_e subject to conservation and
+// f_e <= c_e. It is the "Network(G,c,D;w)" problem whose optimum the
+// first link weights support (Theorem 3.1), used to cross-validate
+// Algorithm 1.
+func MinCostMCF(g *graph.Graph, tm *traffic.Matrix, weights []float64) (*Flow, float64, error) {
+	if len(weights) != g.NumLinks() {
+		return nil, 0, fmt.Errorf("mcf: got %d weights for %d links", len(weights), g.NumLinks())
+	}
+	ly := newLayout(g, tm)
+	if len(ly.dests) == 0 {
+		return NewFlow(g, nil), 0, nil
+	}
+	nv := ly.vars()
+	p := lp.NewProblem(nv)
+	for ti := range ly.dests {
+		for e := 0; e < ly.e; e++ {
+			p.Obj[ly.varOf(ti, e)] = weights[e]
+		}
+	}
+	ly.addConservation(p, tm, 0)
+	for _, l := range g.Links() {
+		row := make([]float64, nv)
+		for ti := range ly.dests {
+			row[ly.varOf(ti, l.ID)] = 1
+		}
+		p.AddConstraint(row, lp.LE, l.Cap)
+	}
+	r, err := lp.Solve(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch r.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		return nil, 0, fmt.Errorf("%w: demands exceed capacities", ErrInfeasible)
+	default:
+		return nil, 0, fmt.Errorf("mcf: MinCostMCF LP status %v", r.Status)
+	}
+	return ly.extract(r.X), r.Obj, nil
+}
+
+// LexMinMaxResult is the output of LexMinMax.
+type LexMinMaxResult struct {
+	Flow *Flow
+	// Bound[e] is the utilization bound the lexicographic process froze
+	// for link e (the level at which the link became binding).
+	Bound []float64
+	// Levels lists the successive minimized utilization levels.
+	Levels []float64
+}
+
+// LexMinMax computes the min-max load-balanced traffic distribution of
+// Section II-B: it minimizes the maximum link utilization, freezes the
+// links that must be at that level in every optimal solution, and
+// recurses on the rest — the limit of (q,beta) proportional load balance
+// as beta grows (Remark 2). Cost: O(E) LPs per level; intended for the
+// small illustration networks (Table I).
+func LexMinMax(g *graph.Graph, tm *traffic.Matrix) (*LexMinMaxResult, error) {
+	const tol = 1e-7
+	ly := newLayout(g, tm)
+	if len(ly.dests) == 0 {
+		return &LexMinMaxResult{Flow: NewFlow(g, nil), Bound: make([]float64, g.NumLinks())}, nil
+	}
+	frozen := make([]bool, g.NumLinks())
+	bound := make([]float64, g.NumLinks())
+	var levels []float64
+	var lastX []float64
+
+	// solveLevel minimizes theta over non-frozen links, with frozen links
+	// bounded by their recorded utilization.
+	solveLevel := func(minimizeLink int) (float64, []float64, error) {
+		nv := ly.vars() + 1
+		theta := nv - 1
+		p := lp.NewProblem(nv)
+		if minimizeLink < 0 {
+			p.Obj[theta] = 1
+		} else {
+			for ti := range ly.dests {
+				p.Obj[ly.varOf(ti, minimizeLink)] = 1 / g.Link(minimizeLink).Cap
+			}
+		}
+		ly.addConservation(p, tm, 1)
+		for _, l := range g.Links() {
+			row := make([]float64, nv)
+			for ti := range ly.dests {
+				row[ly.varOf(ti, l.ID)] = 1
+			}
+			if frozen[l.ID] {
+				p.AddConstraint(row, lp.LE, bound[l.ID]*l.Cap)
+			} else if minimizeLink < 0 {
+				row[theta] = -l.Cap
+				p.AddConstraint(row, lp.LE, 0)
+			} else {
+				// When probing a single link, others keep the last level.
+				p.AddConstraint(row, lp.LE, levels[len(levels)-1]*l.Cap)
+			}
+		}
+		r, err := lp.Solve(p)
+		if err != nil {
+			return 0, nil, err
+		}
+		if r.Status != lp.Optimal {
+			return 0, nil, fmt.Errorf("%w: lexicographic level LP %v", ErrInfeasible, r.Status)
+		}
+		if minimizeLink < 0 {
+			return r.X[theta], r.X, nil
+		}
+		return r.Obj, r.X, nil
+	}
+
+	for level := 0; level < g.NumLinks(); level++ {
+		allFrozen := true
+		for _, fz := range frozen {
+			if !fz {
+				allFrozen = false
+				break
+			}
+		}
+		if allFrozen {
+			break
+		}
+		val, x, err := solveLevel(-1)
+		if err != nil {
+			return nil, err
+		}
+		lastX = x
+		levels = append(levels, val)
+		if val <= tol {
+			// Remaining links can be driven to zero: freeze and stop.
+			for e := range frozen {
+				if !frozen[e] {
+					frozen[e] = true
+					bound[e] = 0
+				}
+			}
+			break
+		}
+		// A non-frozen link is binding iff its utilization cannot be
+		// brought below the level while respecting it everywhere else.
+		newlyFrozen := 0
+		util := utilOf(ly, g, x)
+		for _, l := range g.Links() {
+			if frozen[l.ID] || util[l.ID] < val-tol {
+				continue
+			}
+			minU, _, err := solveLevel(l.ID)
+			if err != nil {
+				return nil, err
+			}
+			if minU >= val-tol {
+				frozen[l.ID] = true
+				bound[l.ID] = val
+				newlyFrozen++
+			}
+		}
+		if newlyFrozen == 0 {
+			// Numerical safety: freeze the most utilized link to ensure
+			// progress.
+			worst, worstU := -1, -1.0
+			for e, u := range util {
+				if !frozen[e] && u > worstU {
+					worst, worstU = e, u
+				}
+			}
+			frozen[worst] = true
+			bound[worst] = val
+		}
+	}
+	if lastX == nil {
+		val, x, err := solveLevel(-1)
+		if err != nil {
+			return nil, err
+		}
+		levels = append(levels, val)
+		lastX = x
+	}
+	return &LexMinMaxResult{Flow: ly.extract(lastX), Bound: bound, Levels: levels}, nil
+}
+
+func utilOf(ly *lpLayout, g *graph.Graph, x []float64) []float64 {
+	util := make([]float64, g.NumLinks())
+	for _, l := range g.Links() {
+		var f float64
+		for ti := range ly.dests {
+			f += x[ly.varOf(ti, l.ID)]
+		}
+		util[l.ID] = f / l.Cap
+	}
+	return util
+}
+
+// MaxUtil returns the maximum entry of a utilization vector (helper for
+// tests and experiments).
+func MaxUtil(util []float64) float64 {
+	m := math.Inf(-1)
+	for _, u := range util {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}

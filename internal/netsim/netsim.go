@@ -1,0 +1,361 @@
+// Package netsim is a packet-level discrete-event network simulator, the
+// reproduction's substitute for SSFnet (paper Section V-D / Fig. 11; see
+// DESIGN.md, substitutions). It simulates Poisson packet sources, FIFO
+// output queues with finite buffers, store-and-forward links with
+// serialization and propagation delay, and per-packet probabilistic
+// forwarding driven by a protocol's split ratios (SPEF, PEFT, or OSPF).
+//
+// The quantity the paper reports — mean per-link traffic load over the
+// run — is measured by counting bits whose transmission completes inside
+// the measurement window.
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// ErrBadConfig reports an invalid simulation configuration.
+var ErrBadConfig = errors.New("netsim: bad config")
+
+// Config describes one simulation run.
+type Config struct {
+	// G is the network; link capacities are multiplied by CapacityUnit to
+	// obtain bit rates.
+	G *graph.Graph
+	// CapacityUnit converts topology capacity units into bits/second
+	// (e.g. 1e6 simulates a capacity-5 link at 5 Mb/s).
+	CapacityUnit float64
+	// Demands lists the traffic sources, volumes in topology capacity
+	// units (converted with CapacityUnit).
+	Demands []traffic.Demand
+	// Splits holds, per destination, the per-link forwarding ratios. At
+	// every node the ratios of that node's out-links toward a destination
+	// must sum to 1 (within 1e-6) when the node can carry such traffic.
+	Splits map[int][]float64
+	// PacketBits is the packet size in bits (default 12000 = 1500 B).
+	PacketBits float64
+	// Duration is the simulated time in seconds (default 400, the
+	// paper's run length).
+	Duration float64
+	// Warmup excludes the initial transient from measurement (default
+	// Duration/10).
+	Warmup float64
+	// BufferPackets is the per-link FIFO capacity (default 100).
+	BufferPackets int
+	// PropDelay is the per-link propagation delay in seconds (default
+	// 1 ms).
+	PropDelay float64
+	// FlowsPerDemand selects the forwarding granularity. 0 (default)
+	// samples a next hop per packet — the idealized splitting the
+	// analytic model assumes. k > 0 hashes each packet onto one of k
+	// flows per demand and pins every flow's next-hop choice at each
+	// router (real ECMP semantics: no intra-flow reordering); measured
+	// splits then converge to the ratios only as k grows.
+	FlowsPerDemand int
+	// Seed drives all randomness (packet arrivals, next-hop sampling).
+	Seed int64
+}
+
+// Result reports per-link mean loads and packet accounting.
+type Result struct {
+	// LinkLoad[e] is the mean traffic load of link e in bits/second over
+	// the measurement window.
+	LinkLoad []float64
+	// LinkUtilization[e] is LinkLoad normalized by the link's bit rate.
+	LinkUtilization []float64
+	// Generated, Delivered, Dropped count packets.
+	Generated, Delivered, Dropped int
+	// AvgDelaySeconds is the mean end-to-end delay of delivered packets.
+	AvgDelaySeconds float64
+}
+
+type packet struct {
+	dst   int
+	born  float64
+	bits  float64
+	hops  int
+	route int // demand index
+	flow  int // flow index within the demand (flow-hashing mode)
+}
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota + 1 // packet arrives at a node
+	evTxDone                      // link finishes serializing a packet
+	evSource                      // demand source emits its next packet
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind eventKind
+	node int
+	link int
+	pkt  *packet
+	src  int // source index for evSource
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)     { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)       { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any         { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) peekTime() float64 { return q[0].at }
+
+type linkState struct {
+	rate      float64 // bits/s
+	queue     []*packet
+	busy      bool
+	bitsInWin float64
+}
+
+// flowKey identifies a pinned next-hop decision in flow-hashing mode.
+type flowKey struct {
+	route, flow, node int
+}
+
+// sim is the running simulator state.
+type sim struct {
+	cfg     Config
+	rng     *rand.Rand
+	q       eventQueue
+	seq     int64
+	links   []linkState
+	res     Result
+	delayNs float64
+	nDelay  int
+	pinned  map[flowKey]int // flow-hashing: memoized next hops
+}
+
+// Run executes the simulation and returns per-link mean loads.
+func Run(cfg Config) (*Result, error) {
+	if err := checkConfig(&cfg); err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		links: make([]linkState, cfg.G.NumLinks()),
+	}
+	if cfg.FlowsPerDemand > 0 {
+		s.pinned = make(map[flowKey]int)
+	}
+	for _, l := range cfg.G.Links() {
+		s.links[l.ID].rate = l.Cap * cfg.CapacityUnit
+	}
+	s.res.LinkLoad = make([]float64, cfg.G.NumLinks())
+	s.res.LinkUtilization = make([]float64, cfg.G.NumLinks())
+
+	// Schedule the first emission of every demand.
+	for i := range cfg.Demands {
+		s.schedule(&event{at: s.nextInterval(i), kind: evSource, src: i})
+	}
+	for len(s.q) > 0 && s.q.peekTime() <= cfg.Duration {
+		e := heap.Pop(&s.q).(*event)
+		switch e.kind {
+		case evSource:
+			s.emit(e)
+		case evArrive:
+			s.arrive(e)
+		case evTxDone:
+			s.txDone(e)
+		}
+	}
+	window := cfg.Duration - cfg.Warmup
+	for e := range s.links {
+		s.res.LinkLoad[e] = s.links[e].bitsInWin / window
+		s.res.LinkUtilization[e] = s.res.LinkLoad[e] / s.links[e].rate
+	}
+	if s.nDelay > 0 {
+		s.res.AvgDelaySeconds = s.delayNs / float64(s.nDelay)
+	}
+	return &s.res, nil
+}
+
+func checkConfig(cfg *Config) error {
+	if cfg.G == nil {
+		return fmt.Errorf("%w: nil graph", ErrBadConfig)
+	}
+	if cfg.CapacityUnit <= 0 {
+		return fmt.Errorf("%w: CapacityUnit %v", ErrBadConfig, cfg.CapacityUnit)
+	}
+	if len(cfg.Demands) == 0 {
+		return fmt.Errorf("%w: no demands", ErrBadConfig)
+	}
+	if cfg.PacketBits <= 0 {
+		cfg.PacketBits = 12000
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 400
+	}
+	if cfg.Warmup <= 0 || cfg.Warmup >= cfg.Duration {
+		cfg.Warmup = cfg.Duration / 10
+	}
+	if cfg.BufferPackets <= 0 {
+		cfg.BufferPackets = 100
+	}
+	if cfg.PropDelay <= 0 {
+		cfg.PropDelay = 1e-3
+	}
+	for i, d := range cfg.Demands {
+		if d.Volume <= 0 {
+			return fmt.Errorf("%w: demand %d has volume %v", ErrBadConfig, i, d.Volume)
+		}
+		split, ok := cfg.Splits[d.Dst]
+		if !ok {
+			return fmt.Errorf("%w: no split ratios for destination %d", ErrBadConfig, d.Dst)
+		}
+		if len(split) != cfg.G.NumLinks() {
+			return fmt.Errorf("%w: split vector for destination %d has %d entries", ErrBadConfig, d.Dst, len(split))
+		}
+	}
+	return nil
+}
+
+func (s *sim) schedule(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.q, e)
+}
+
+// nextInterval draws the exponential inter-packet time of demand i.
+func (s *sim) nextInterval(i int) float64 {
+	rate := s.cfg.Demands[i].Volume * s.cfg.CapacityUnit / s.cfg.PacketBits // pkts/s
+	return s.rng.ExpFloat64() / rate
+}
+
+func (s *sim) emit(e *event) {
+	d := s.cfg.Demands[e.src]
+	s.res.Generated++
+	pkt := &packet{dst: d.Dst, born: e.at, bits: s.cfg.PacketBits, route: e.src}
+	if s.cfg.FlowsPerDemand > 0 {
+		pkt.flow = s.rng.Intn(s.cfg.FlowsPerDemand)
+	}
+	s.schedule(&event{at: e.at, kind: evArrive, node: d.Src, pkt: pkt})
+	s.schedule(&event{at: e.at + s.nextInterval(e.src), kind: evSource, src: e.src})
+}
+
+// arrive processes a packet reaching a node: deliver or forward.
+func (s *sim) arrive(e *event) {
+	pkt := e.pkt
+	if e.node == pkt.dst {
+		s.res.Delivered++
+		if e.at >= s.cfg.Warmup {
+			s.delayNs += e.at - pkt.born
+			s.nDelay++
+		}
+		return
+	}
+	if pkt.hops > 4*s.cfg.G.NumNodes() {
+		s.res.Dropped++ // forwarding loop safety valve
+		return
+	}
+	var link int
+	if s.pinned != nil {
+		key := flowKey{route: pkt.route, flow: pkt.flow, node: e.node}
+		var ok bool
+		if link, ok = s.pinned[key]; !ok {
+			link = s.pickNextHop(e.node, pkt.dst)
+			s.pinned[key] = link
+		}
+	} else {
+		link = s.pickNextHop(e.node, pkt.dst)
+	}
+	if link < 0 {
+		s.res.Dropped++
+		return
+	}
+	s.enqueue(link, pkt, e.at)
+}
+
+// pickNextHop samples an out-link of node toward dst by split ratio.
+func (s *sim) pickNextHop(node, dst int) int {
+	split := s.cfg.Splits[dst]
+	outs := s.cfg.G.OutLinks(node)
+	var total float64
+	for _, id := range outs {
+		total += split[id]
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := s.rng.Float64() * total
+	for _, id := range outs {
+		x -= split[id]
+		if x <= 0 {
+			return id
+		}
+	}
+	return outs[len(outs)-1]
+}
+
+func (s *sim) enqueue(link int, pkt *packet, now float64) {
+	ls := &s.links[link]
+	if len(ls.queue) >= s.cfg.BufferPackets {
+		s.res.Dropped++
+		return
+	}
+	ls.queue = append(ls.queue, pkt)
+	if !ls.busy {
+		s.startTx(link, now)
+	}
+}
+
+func (s *sim) startTx(link int, now float64) {
+	ls := &s.links[link]
+	pkt := ls.queue[0]
+	ls.busy = true
+	s.schedule(&event{at: now + pkt.bits/ls.rate, kind: evTxDone, link: link, pkt: pkt})
+}
+
+func (s *sim) txDone(e *event) {
+	ls := &s.links[e.link]
+	pkt := e.pkt
+	ls.queue = ls.queue[1:]
+	ls.busy = false
+	if e.at >= s.cfg.Warmup {
+		ls.bitsInWin += pkt.bits
+	}
+	pkt.hops++
+	head := s.cfg.G.Link(e.link).To
+	s.schedule(&event{at: e.at + s.cfg.PropDelay, kind: evArrive, node: head, pkt: pkt})
+	if len(ls.queue) > 0 {
+		s.startTx(e.link, e.at)
+	}
+}
+
+// MeanAbsSplitError compares measured per-link utilizations against an
+// analytic flow prediction (both normalized by capacity), ignoring links
+// whose predicted utilization is below minU — a convergence diagnostic
+// used by tests.
+func MeanAbsSplitError(g *graph.Graph, measured []float64, predicted []float64, minU float64) float64 {
+	var sum float64
+	var n int
+	for _, l := range g.Links() {
+		pu := predicted[l.ID] / l.Cap
+		if pu < minU {
+			continue
+		}
+		sum += math.Abs(measured[l.ID] - pu)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

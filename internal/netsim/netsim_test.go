@@ -1,0 +1,291 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// singleLink builds a 2-node network with one unit-capacity link and a
+// single-path split table.
+func singleLink(t *testing.T) (*graph.Graph, map[int][]float64) {
+	t.Helper()
+	g := graph.New(2)
+	if _, err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	return g, map[int][]float64{1: {1}}
+}
+
+func TestRunSingleLinkLoad(t *testing.T) {
+	g, splits := singleLink(t)
+	res, err := Run(Config{
+		G:            g,
+		CapacityUnit: 1e6, // 1 Mb/s
+		Demands:      []traffic.Demand{{Src: 0, Dst: 1, Volume: 0.5}},
+		Splits:       splits,
+		Duration:     200,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Offered load 0.5 Mb/s on a 1 Mb/s link.
+	if math.Abs(res.LinkUtilization[0]-0.5) > 0.03 {
+		t.Errorf("utilization = %v, want 0.5 +- 0.03", res.LinkUtilization[0])
+	}
+	if res.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 at half load", res.Dropped)
+	}
+	if res.Delivered == 0 || res.Generated < res.Delivered {
+		t.Errorf("accounting broken: generated %d delivered %d", res.Generated, res.Delivered)
+	}
+	if res.AvgDelaySeconds <= 0 {
+		t.Errorf("average delay = %v, want > 0", res.AvgDelaySeconds)
+	}
+}
+
+func TestRunOverloadDropsAndSaturates(t *testing.T) {
+	g, splits := singleLink(t)
+	res, err := Run(Config{
+		G:            g,
+		CapacityUnit: 1e6,
+		Demands:      []traffic.Demand{{Src: 0, Dst: 1, Volume: 2}}, // 200% load
+		Splits:       splits,
+		Duration:     100,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped == 0 {
+		t.Error("no drops at 200% offered load")
+	}
+	if res.LinkUtilization[0] < 0.95 || res.LinkUtilization[0] > 1.001 {
+		t.Errorf("utilization = %v, want ~1 (saturated)", res.LinkUtilization[0])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, splits := singleLink(t)
+	cfg := Config{
+		G:            g,
+		CapacityUnit: 1e6,
+		Demands:      []traffic.Demand{{Src: 0, Dst: 1, Volume: 0.3}},
+		Splits:       splits,
+		Duration:     50,
+		Seed:         7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Generated != b.Generated || a.Delivered != b.Delivered || a.LinkLoad[0] != b.LinkLoad[0] {
+		t.Error("same seed produced different results")
+	}
+	cfg.Seed = 8
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Generated == a.Generated && c.LinkLoad[0] == a.LinkLoad[0] {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestRunSplitRatiosRespected(t *testing.T) {
+	// Diamond with a 75/25 split at the source.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddLink(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	splits := map[int][]float64{3: {0.75, 0.25, 1, 1}}
+	res, err := Run(Config{
+		G:            g,
+		CapacityUnit: 1e6,
+		Demands:      []traffic.Demand{{Src: 0, Dst: 3, Volume: 0.8}},
+		Splits:       splits,
+		Duration:     300,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.LinkUtilization[0]-0.6) > 0.04 {
+		t.Errorf("link 0 utilization = %v, want 0.6 +- 0.04", res.LinkUtilization[0])
+	}
+	if math.Abs(res.LinkUtilization[1]-0.2) > 0.04 {
+		t.Errorf("link 1 utilization = %v, want 0.2 +- 0.04", res.LinkUtilization[1])
+	}
+}
+
+func TestRunMatchesSPEFAnalyticFlow(t *testing.T) {
+	// End-to-end: simulate SPEF forwarding on Fig. 1 and compare the
+	// measured loads against the analytic traffic distribution.
+	g := topo.Fig1()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.Fig1Demands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := objective.MustQBeta(1, g.NumLinks(), nil)
+	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 20000}})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	flow, err := p.Flow(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		G:            g,
+		CapacityUnit: 1e6,
+		Demands:      tm.Demands(),
+		Splits:       p.Splits,
+		Duration:     300,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if errAbs := MeanAbsSplitError(g, res.LinkUtilization, flow.Total, 0.01); errAbs > 0.03 {
+		t.Errorf("mean |measured - predicted| = %v, want <= 0.03", errAbs)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	g, splits := singleLink(t)
+	base := func() Config {
+		return Config{
+			G:            g,
+			CapacityUnit: 1e6,
+			Demands:      []traffic.Demand{{Src: 0, Dst: 1, Volume: 0.5}},
+			Splits:       splits,
+			Duration:     10,
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "nil graph", mutate: func(c *Config) { c.G = nil }},
+		{name: "zero capacity unit", mutate: func(c *Config) { c.CapacityUnit = 0 }},
+		{name: "no demands", mutate: func(c *Config) { c.Demands = nil }},
+		{name: "zero volume", mutate: func(c *Config) { c.Demands[0].Volume = 0 }},
+		{name: "missing splits", mutate: func(c *Config) { c.Splits = map[int][]float64{} }},
+		{name: "short splits", mutate: func(c *Config) { c.Splits = map[int][]float64{1: {1, 1}} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestRunNoRouteDrops(t *testing.T) {
+	// A destination whose split table is all-zero at the source: packets
+	// are dropped, not looped.
+	g := graph.New(3)
+	if _, err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	splits := map[int][]float64{2: {0, 1}} // node 0 has no usable out-link
+	res, err := Run(Config{
+		G:            g,
+		CapacityUnit: 1e6,
+		Demands:      []traffic.Demand{{Src: 0, Dst: 2, Volume: 0.1}},
+		Splits:       splits,
+		Duration:     20,
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Delivered != 0 {
+		t.Errorf("delivered = %d, want 0", res.Delivered)
+	}
+	if res.Dropped == 0 {
+		t.Error("expected drops for unroutable packets")
+	}
+}
+
+func TestFlowHashingPinsPaths(t *testing.T) {
+	// Diamond with a 50/50 split and a single flow per demand: the flow
+	// pins one path at the source, so exactly one of the two parallel
+	// links carries all the traffic.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddLink(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	splits := map[int][]float64{3: {0.5, 0.5, 1, 1}}
+	res, err := Run(Config{
+		G:              g,
+		CapacityUnit:   1e6,
+		Demands:        []traffic.Demand{{Src: 0, Dst: 3, Volume: 0.4}},
+		Splits:         splits,
+		Duration:       100,
+		FlowsPerDemand: 1,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	carried := 0
+	for _, e := range []int{0, 1} {
+		switch {
+		case res.LinkUtilization[e] > 0.3:
+			carried++
+		case res.LinkUtilization[e] > 0.01:
+			t.Errorf("link %d partially loaded (%v) despite single-flow pinning", e, res.LinkUtilization[e])
+		}
+	}
+	if carried != 1 {
+		t.Errorf("%d parallel links carry traffic, want exactly 1", carried)
+	}
+}
+
+func TestFlowHashingConvergesWithManyFlows(t *testing.T) {
+	// With many flows the pinned choices average out to the ratios.
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddLink(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	splits := map[int][]float64{3: {0.5, 0.5, 1, 1}}
+	res, err := Run(Config{
+		G:              g,
+		CapacityUnit:   1e6,
+		Demands:        []traffic.Demand{{Src: 0, Dst: 3, Volume: 0.8}},
+		Splits:         splits,
+		Duration:       200,
+		FlowsPerDemand: 2000,
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if math.Abs(res.LinkUtilization[0]-0.4) > 0.05 {
+		t.Errorf("link 0 utilization = %v, want ~0.4 with many flows", res.LinkUtilization[0])
+	}
+}

@@ -1,0 +1,124 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/objective"
+	"repro/internal/traffic"
+)
+
+// FTSearchOptions tunes FortzThorupSearch. Zero values select defaults.
+type FTSearchOptions struct {
+	// MaxEvals bounds the number of candidate evaluations (default 2000).
+	MaxEvals int
+	// WeightMax is the largest integer weight considered (default 20;
+	// Fortz-Thorup use small integer ranges in their experiments).
+	WeightMax int
+	// Seed drives the randomized neighborhood sampling.
+	Seed int64
+}
+
+// FTSearchResult is the output of FortzThorupSearch.
+type FTSearchResult struct {
+	// Weights is the best integer weight vector found.
+	Weights []float64
+	// Cost is its Fortz-Thorup cost under OSPF/ECMP routing.
+	Cost float64
+	// Evals is the number of candidate evaluations performed.
+	Evals int
+}
+
+// FortzThorupSearch is the local-search OSPF weight optimizer of Fortz
+// and Thorup (INFOCOM'00 / "Increasing Internet Capacity Using Local
+// Search"), simplified: starting from unit weights it hill-climbs over
+// single-link integer weight changes, evaluating each candidate by
+// routing the demands with even ECMP splitting and scoring the
+// piecewise-linear cost, with random multi-link perturbations to escape
+// plateaus. This is the NP-hard weight-tuning baseline the paper
+// contrasts SPEF's polynomial pipeline against.
+func FortzThorupSearch(g *graph.Graph, tm *traffic.Matrix, opts FTSearchOptions) (*FTSearchResult, error) {
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 2000
+	}
+	if opts.WeightMax <= 1 {
+		opts.WeightMax = 20
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	dests := tm.Destinations()
+	if len(dests) == 0 {
+		return nil, fmt.Errorf("%w: empty traffic matrix", ErrBadInput)
+	}
+
+	cost := func(w []float64) (float64, error) {
+		o, err := BuildOSPF(g, dests, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		flow, err := o.Flow(tm)
+		if err != nil {
+			return 0, err
+		}
+		return objective.TotalCost(objective.FortzThorup{}, g, flow.Total), nil
+	}
+
+	cur := make([]float64, g.NumLinks())
+	for i := range cur {
+		cur[i] = 1
+	}
+	curCost, err := cost(cur)
+	if err != nil {
+		return nil, err
+	}
+	best := append([]float64(nil), cur...)
+	bestCost := curCost
+	evals := 1
+	stale := 0
+	for evals < opts.MaxEvals {
+		e := rng.Intn(g.NumLinks())
+		improved := false
+		for trial := 0; trial < 4 && evals < opts.MaxEvals; trial++ {
+			cand := float64(1 + rng.Intn(opts.WeightMax))
+			if cand == cur[e] {
+				continue
+			}
+			old := cur[e]
+			cur[e] = cand
+			c, err := cost(cur)
+			if err != nil {
+				return nil, err
+			}
+			evals++
+			if c < curCost-1e-12 {
+				curCost = c
+				improved = true
+			} else {
+				cur[e] = old
+			}
+		}
+		if curCost < bestCost {
+			bestCost = curCost
+			copy(best, cur)
+		}
+		if improved {
+			stale = 0
+			continue
+		}
+		if stale++; stale > 4*g.NumLinks() && evals < opts.MaxEvals {
+			// Plateau: perturb a few links (Fortz-Thorup's
+			// diversification) and continue climbing from there.
+			for k := 0; k < 3; k++ {
+				cur[rng.Intn(g.NumLinks())] = float64(1 + rng.Intn(opts.WeightMax))
+			}
+			c, err := cost(cur)
+			if err != nil {
+				return nil, err
+			}
+			evals++
+			curCost = c
+			stale = 0
+		}
+	}
+	return &FTSearchResult{Weights: best, Cost: bestCost, Evals: evals}, nil
+}

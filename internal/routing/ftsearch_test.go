@@ -1,0 +1,79 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/objective"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+func TestFortzThorupSearchImproves(t *testing.T) {
+	g := topo.Simple()
+	tm, err := traffic.FromDemands(g.NumNodes(), topo.SimpleDemands())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: unit weights.
+	unit := make([]float64, g.NumLinks())
+	for i := range unit {
+		unit[i] = 1
+	}
+	o, err := BuildOSPF(g, tm.Destinations(), unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := o.Flow(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unitCost := objective.TotalCost(objective.FortzThorup{}, g, flow.Total)
+
+	r, err := FortzThorupSearch(g, tm, FTSearchOptions{MaxEvals: 800, Seed: 3})
+	if err != nil {
+		t.Fatalf("FortzThorupSearch: %v", err)
+	}
+	if r.Cost > unitCost {
+		t.Errorf("search cost %v worse than unit-weight start %v", r.Cost, unitCost)
+	}
+	if r.Evals == 0 || r.Evals > 800 {
+		t.Errorf("evals = %d", r.Evals)
+	}
+	// Lower bound: the Frank-Wolfe optimum of the same cost over the
+	// unrestricted flow polytope (OSPF/ECMP can never beat it).
+	fw, err := mcf.FrankWolfe(g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost < fw.Cost-1e-6 {
+		t.Errorf("search cost %v below the flow-polytope optimum %v (impossible)", r.Cost, fw.Cost)
+	}
+	// Integrality and range of returned weights.
+	for e, w := range r.Weights {
+		if w < 1 || w > 20 || w != float64(int(w)) {
+			t.Errorf("weight[%d] = %v, want integer in [1,20]", e, w)
+		}
+	}
+	// The returned weights reproduce the reported cost.
+	o2, err := BuildOSPF(g, tm.Destinations(), r.Weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow2, err := o2.Flow(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := objective.TotalCost(objective.FortzThorup{}, g, flow2.Total); got != r.Cost {
+		t.Errorf("reported cost %v, re-evaluated %v", r.Cost, got)
+	}
+}
+
+func TestFortzThorupSearchEmptyTM(t *testing.T) {
+	g := topo.Simple()
+	tm := traffic.NewMatrix(g.NumNodes())
+	if _, err := FortzThorupSearch(g, tm, FTSearchOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("err = %v, want ErrBadInput", err)
+	}
+}

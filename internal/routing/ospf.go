@@ -1,0 +1,110 @@
+// Package routing implements the baseline routing protocols the paper
+// compares SPEF against: OSPF with Cisco InvCap weights and even ECMP
+// splitting (Section V's "current version of OSPF"), and downward PEFT
+// (Xu-Chiang-Rexford INFOCOM'08) with penalizing-exponential splitting
+// over all downward paths.
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/traffic"
+)
+
+// ErrBadInput reports inconsistent arguments.
+var ErrBadInput = errors.New("routing: bad input")
+
+// InvCapWeights returns Cisco-style inverse-capacity OSPF weights,
+// normalized so the largest link gets weight 1: w_e = max{c}/c_e.
+func InvCapWeights(g *graph.Graph) []float64 {
+	var maxCap float64
+	for _, l := range g.Links() {
+		if l.Cap > maxCap {
+			maxCap = l.Cap
+		}
+	}
+	w := make([]float64, g.NumLinks())
+	for _, l := range g.Links() {
+		w[l.ID] = maxCap / l.Cap
+	}
+	return w
+}
+
+// OSPF is OSPF forwarding state: shortest-path DAGs under the configured
+// weights with even traffic splitting across the equal-cost next hops of
+// every router (the ECMP behaviour the paper evaluates against).
+type OSPF struct {
+	G *graph.Graph
+	// W is the configured weight vector.
+	W []float64
+	// DAGs maps each destination to its equal-cost shortest-path DAG.
+	DAGs map[int]*graph.DAG
+	// Splits[t][id] is the even ECMP ratio of link id toward t.
+	Splits map[int][]float64
+}
+
+// BuildOSPF assembles OSPF state for the given destinations. weights nil
+// selects InvCap. tol is the equal-cost Dijkstra tolerance (0 = exact).
+func BuildOSPF(g *graph.Graph, dests []int, weights []float64, tol float64) (*OSPF, error) {
+	if weights == nil {
+		weights = InvCapWeights(g)
+	}
+	if len(weights) != g.NumLinks() {
+		return nil, fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), g.NumLinks())
+	}
+	o := &OSPF{
+		G:      g,
+		W:      append([]float64(nil), weights...),
+		DAGs:   make(map[int]*graph.DAG, len(dests)),
+		Splits: make(map[int][]float64, len(dests)),
+	}
+	for _, t := range dests {
+		d, err := graph.BuildDAG(g, weights, t, tol)
+		if err != nil {
+			return nil, fmt.Errorf("routing: OSPF DAG for destination %d: %w", t, err)
+		}
+		o.DAGs[t] = d
+		ratio := make([]float64, g.NumLinks())
+		for u := 0; u < g.NumNodes(); u++ {
+			outs := d.Out[u]
+			for _, id := range outs {
+				ratio[id] = 1 / float64(len(outs))
+			}
+		}
+		o.Splits[t] = ratio
+	}
+	return o, nil
+}
+
+// Flow evaluates the deterministic OSPF/ECMP traffic distribution.
+func (o *OSPF) Flow(tm *traffic.Matrix) (*mcf.Flow, error) {
+	dests := tm.Destinations()
+	flow := mcf.NewFlow(o.G, dests)
+	for _, t := range dests {
+		d, ok := o.DAGs[t]
+		if !ok {
+			return nil, fmt.Errorf("%w: no OSPF state for destination %d", ErrBadInput, t)
+		}
+		ft, err := graph.PropagateDown(o.G, d, tm.ToDestination(t), o.Splits[t])
+		if err != nil {
+			return nil, err
+		}
+		flow.PerDest[t] = ft
+	}
+	flow.RecomputeTotal()
+	return flow, nil
+}
+
+// EqualCostPaths returns the number of equal-cost shortest paths OSPF
+// uses for the pair (Table V's n_i statistic).
+func (o *OSPF) EqualCostPaths(src, dst int) (int, error) {
+	d, ok := o.DAGs[dst]
+	if !ok {
+		return 0, fmt.Errorf("%w: no OSPF state for destination %d", ErrBadInput, dst)
+	}
+	counts := d.CountPaths(o.G)
+	return int(counts[src] + 0.5), nil
+}

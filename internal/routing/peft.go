@@ -1,0 +1,99 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/traffic"
+)
+
+// PEFT is downward PEFT forwarding state (Xu, Chiang, Rexford: "Link-
+// state routing with hop-by-hop forwarding achieves optimal traffic
+// engineering", INFOCOM'08): every *downward* link (head strictly closer
+// to the destination) may carry traffic, split with an exponential
+// penalty on the extra path length beyond the shortest:
+//
+//	split(u->v)  propto  e^(-h_uv) * Z(v),
+//	h_uv = w_uv + dist(v) - dist(u) >= 0,
+//
+// so shortest paths get penalty 0 and longer paths are exponentially
+// suppressed. Contrast with SPEF, which restricts forwarding to the
+// equal-cost shortest DAG and splits by the separate second weights.
+type PEFT struct {
+	G *graph.Graph
+	// W is the link weight vector the penalties derive from.
+	W []float64
+	// DAGs maps destinations to their downward DAGs.
+	DAGs map[int]*graph.DAG
+	// Penalty[t][id] is the extra-length penalty h of link id toward t.
+	Penalty map[int][]float64
+	// Splits[t][id] is the PEFT split ratio of link id toward t.
+	Splits map[int][]float64
+}
+
+// BuildPEFT assembles PEFT state for the given destinations under the
+// given link weights (the paper's comparison supplies both protocols
+// with the same optimized first weights).
+func BuildPEFT(g *graph.Graph, dests []int, weights []float64) (*PEFT, error) {
+	if len(weights) != g.NumLinks() {
+		return nil, fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), g.NumLinks())
+	}
+	p := &PEFT{
+		G:       g,
+		W:       append([]float64(nil), weights...),
+		DAGs:    make(map[int]*graph.DAG, len(dests)),
+		Penalty: make(map[int][]float64, len(dests)),
+		Splits:  make(map[int][]float64, len(dests)),
+	}
+	for _, t := range dests {
+		d, err := graph.DownwardDAG(g, weights, t)
+		if err != nil {
+			return nil, fmt.Errorf("routing: PEFT DAG for destination %d: %w", t, err)
+		}
+		h := make([]float64, g.NumLinks())
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, id := range d.Out[u] {
+				l := g.Link(id)
+				h[id] = weights[id] + d.Dist[l.To] - d.Dist[l.From]
+			}
+		}
+		ratio, _ := graph.ExponentialSplits(g, d, h)
+		p.DAGs[t] = d
+		p.Penalty[t] = h
+		p.Splits[t] = ratio
+	}
+	return p, nil
+}
+
+// Flow evaluates the deterministic PEFT traffic distribution.
+func (p *PEFT) Flow(tm *traffic.Matrix) (*mcf.Flow, error) {
+	dests := tm.Destinations()
+	flow := mcf.NewFlow(p.G, dests)
+	for _, t := range dests {
+		d, ok := p.DAGs[t]
+		if !ok {
+			return nil, fmt.Errorf("%w: no PEFT state for destination %d", ErrBadInput, t)
+		}
+		ft, err := graph.PropagateDown(p.G, d, tm.ToDestination(t), p.Splits[t])
+		if err != nil {
+			return nil, err
+		}
+		flow.PerDest[t] = ft
+	}
+	flow.RecomputeTotal()
+	return flow, nil
+}
+
+// LinksUsed counts the links that carry at least minLoad under the given
+// distribution — the "number of links used for carrying traffic"
+// comparison of the paper's Fig. 11 discussion.
+func LinksUsed(flow *mcf.Flow, minLoad float64) int {
+	var n int
+	for _, f := range flow.Total {
+		if f > minLoad {
+			n++
+		}
+	}
+	return n
+}

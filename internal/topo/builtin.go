@@ -1,0 +1,222 @@
+// Package topo provides every network topology the paper evaluates on:
+// the two worked examples (Fig. 1 and Fig. 4), the Abilene and Cernet2
+// backbones (Fig. 8, Table III), and seeded generators for the GT-ITM
+// style 2-level hierarchical and random networks of Table III.
+//
+// All topologies are directed: a physical cable is modeled as two
+// opposite directed links, matching the paper's directed-link counts.
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// mustDuplex adds a bidirectional edge or panics; the builtin topologies
+// are static data, so a failure is a programmer error.
+func mustDuplex(g *graph.Graph, a, b int, capacity float64) {
+	if _, _, err := g.AddDuplex(a, b, capacity); err != nil {
+		panic(fmt.Sprintf("topo: builtin topology broken: %v", err))
+	}
+}
+
+func mustLink(g *graph.Graph, a, b int, capacity float64) int {
+	id, err := g.AddLink(a, b, capacity)
+	if err != nil {
+		panic(fmt.Sprintf("topo: builtin topology broken: %v", err))
+	}
+	return id
+}
+
+// Fig1 returns the paper's Fig. 1 illustration network: four nodes, four
+// unit-capacity directed links in the Table I order (1,3), (3,4), (1,2),
+// (2,3). Node IDs are the paper's node numbers minus one.
+func Fig1() *graph.Graph {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		g.SetName(i, fmt.Sprintf("n%d", i+1))
+	}
+	mustLink(g, 0, 2, 1) // (1,3)
+	mustLink(g, 2, 3, 1) // (3,4)
+	mustLink(g, 0, 1, 1) // (1,2)
+	mustLink(g, 1, 2, 1) // (2,3)
+	return g
+}
+
+// Fig1Demands returns the Fig. 1 demands: 1 unit for pair (1,3) and 0.9
+// for pair (3,4).
+func Fig1Demands() []traffic.Demand {
+	return []traffic.Demand{
+		{Src: 0, Dst: 2, Volume: 1.0},
+		{Src: 2, Dst: 3, Volume: 0.9},
+	}
+}
+
+// Simple returns the seven-node, thirteen-directed-link example network
+// of the paper's Fig. 4 (originally from Wang et al. [19]). Every link
+// has capacity 5. The scanned figure is not machine readable, so the
+// link layout is reconstructed to satisfy every property the paper
+// states: 13 used directed links, multiple candidate paths for each of
+// the four demands, and link 1 = (1,3) acting as the bottleneck for
+// beta=0 (see DESIGN.md, substitutions). Link IDs 0..12 correspond to the
+// paper's link indices 1..13.
+func Simple() *graph.Graph {
+	g := graph.New(7)
+	for i := 0; i < 7; i++ {
+		g.SetName(i, fmt.Sprintf("n%d", i+1))
+	}
+	const c = 5.0
+	mustLink(g, 0, 2, c) // 1: 1->3
+	mustLink(g, 2, 1, c) // 2: 3->2
+	mustLink(g, 0, 3, c) // 3: 1->4
+	mustLink(g, 3, 2, c) // 4: 4->3
+	mustLink(g, 3, 4, c) // 5: 4->5
+	mustLink(g, 4, 1, c) // 6: 5->2
+	mustLink(g, 0, 5, c) // 7: 1->6
+	mustLink(g, 5, 6, c) // 8: 6->7
+	mustLink(g, 5, 4, c) // 9: 6->5
+	mustLink(g, 4, 6, c) // 10: 5->7
+	mustLink(g, 2, 5, c) // 11: 3->6
+	mustLink(g, 3, 5, c) // 12: 4->6
+	mustLink(g, 5, 1, c) // 13: 6->2
+	return g
+}
+
+// SimpleDemands returns the Fig. 4 demands: r1: 1->2, r2: 1->3,
+// r3: 3->2, r4: 1->7, each of 4 units.
+func SimpleDemands() []traffic.Demand {
+	return []traffic.Demand{
+		{Src: 0, Dst: 1, Volume: 4},
+		{Src: 0, Dst: 2, Volume: 4},
+		{Src: 2, Dst: 1, Volume: 4},
+		{Src: 0, Dst: 6, Volume: 4},
+	}
+}
+
+// Abilene returns the Abilene research backbone of Fig. 8(a): 11 nodes
+// and 28 directed links (14 bidirectional edges), all 10 Gbps. Volumes
+// are expressed in Gbps.
+func Abilene() *graph.Graph {
+	names := []string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Chicago", "Indianapolis", "Atlanta", "Washington",
+		"NewYork",
+	}
+	g := graph.New(0)
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	const c = 10.0
+	edges := [][2]int{
+		{0, 1},  // Seattle-Sunnyvale
+		{0, 3},  // Seattle-Denver
+		{1, 2},  // Sunnyvale-LosAngeles
+		{1, 3},  // Sunnyvale-Denver
+		{2, 5},  // LosAngeles-Houston
+		{3, 4},  // Denver-KansasCity
+		{4, 5},  // KansasCity-Houston
+		{4, 7},  // KansasCity-Indianapolis
+		{5, 8},  // Houston-Atlanta
+		{7, 6},  // Indianapolis-Chicago
+		{7, 8},  // Indianapolis-Atlanta
+		{6, 10}, // Chicago-NewYork
+		{8, 9},  // Atlanta-Washington
+		{10, 9}, // NewYork-Washington
+	}
+	for _, e := range edges {
+		mustDuplex(g, e[0], e[1], c)
+	}
+	return g
+}
+
+// Cernet2 returns the 20-node, 44-directed-link CERNET2 backbone of
+// Fig. 8(b) / Table III. Four directed links (the Beijing-Wuhan and
+// Wuhan-Guangzhou trunks, both directions) are 10 Gbps; the remaining 40
+// are 2.5 Gbps. The exact edge list in the scan is unreadable, so the
+// backbone is synthesized over the real CERNET2 PoP cities with matching
+// node/link counts and capacity mix (see DESIGN.md, substitutions).
+func Cernet2() *graph.Graph {
+	names := []string{
+		"Beijing", "Tianjin", "Jinan", "Shanghai", "Nanjing",
+		"Hefei", "Hangzhou", "Xiamen", "Guangzhou", "Changsha",
+		"Wuhan", "Zhengzhou", "Xian", "Lanzhou", "Chengdu",
+		"Chongqing", "Shenyang", "Changchun", "Harbin", "Dalian",
+	}
+	g := graph.New(0)
+	for _, n := range names {
+		g.AddNode(n)
+	}
+	id := func(name string) int {
+		n, ok := g.NodeByName(name)
+		if !ok {
+			panic("topo: unknown Cernet2 city " + name)
+		}
+		return n
+	}
+	const (
+		trunk = 10.0
+		std   = 2.5
+	)
+	// Bold 10G trunks (4 directed links).
+	mustDuplex(g, id("Beijing"), id("Wuhan"), trunk)
+	mustDuplex(g, id("Wuhan"), id("Guangzhou"), trunk)
+	// Standard 2.5G edges (20 edges -> 40 directed links).
+	std2 := [][2]string{
+		{"Beijing", "Tianjin"},
+		{"Tianjin", "Jinan"},
+		{"Tianjin", "Dalian"},
+		{"Beijing", "Shenyang"},
+		{"Shenyang", "Changchun"},
+		{"Changchun", "Harbin"},
+		{"Shenyang", "Dalian"},
+		{"Beijing", "Zhengzhou"},
+		{"Zhengzhou", "Xian"},
+		{"Xian", "Lanzhou"},
+		{"Lanzhou", "Chengdu"},
+		{"Chengdu", "Chongqing"},
+		{"Chongqing", "Changsha"},
+		{"Changsha", "Guangzhou"},
+		{"Nanjing", "Shanghai"},
+		{"Shanghai", "Hangzhou"},
+		{"Hangzhou", "Xiamen"},
+		{"Xiamen", "Guangzhou"},
+		{"Nanjing", "Hefei"},
+		{"Hefei", "Wuhan"},
+	}
+	for _, e := range std2 {
+		mustDuplex(g, id(e[0]), id(e[1]), std)
+	}
+	return g
+}
+
+// Cernet2TableIVDemands returns the Table IV demand set used for the
+// SPEF-vs-PEFT packet-level comparison on Cernet2 (volumes in Gbps).
+// The paper's 1-based node numbers refer to its (unreadable) Fig. 8b
+// labeling; they are mapped onto our synthesized backbone so that each
+// source has the adjacent capacity its volumes require (sources Wuhan,
+// Xi'an and Guangzhou; see DESIGN.md, substitutions): paper 11 -> Wuhan,
+// 13 -> Xi'an, 14 -> Guangzhou, and destinations 1 -> Beijing,
+// 2 -> Tianjin, 20 -> Dalian, 6 -> Hefei, 8 -> Xiamen.
+func Cernet2TableIVDemands() []traffic.Demand {
+	return []traffic.Demand{
+		{Src: 10, Dst: 0, Volume: 3},  // Wuhan -> Beijing, 3 Gb
+		{Src: 10, Dst: 1, Volume: 2},  // Wuhan -> Tianjin, 2 Gb
+		{Src: 10, Dst: 19, Volume: 2}, // Wuhan -> Dalian, 2 Gb
+		{Src: 12, Dst: 5, Volume: 1},  // Xi'an -> Hefei, 1 Gb
+		{Src: 8, Dst: 0, Volume: 4},   // Guangzhou -> Beijing, 4 Gb
+		{Src: 8, Dst: 7, Volume: 2},   // Guangzhou -> Xiamen, 2 Gb
+	}
+}
+
+// SimpleTableIVDemands returns the Table IV demand set for the simple
+// network packet-level comparison (volumes in Mbps against 5 Mb/s links).
+func SimpleTableIVDemands() []traffic.Demand {
+	return []traffic.Demand{
+		{Src: 0, Dst: 1, Volume: 4},
+		{Src: 0, Dst: 2, Volume: 4},
+		{Src: 2, Dst: 1, Volume: 4},
+		{Src: 0, Dst: 6, Volume: 4},
+	}
+}

@@ -1,0 +1,123 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		if _, _, err := g.AddDuplex(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestHopDistancesLine(t *testing.T) {
+	g := lineGraph(t, 4)
+	hops, err := HopDistances(g)
+	if err != nil {
+		t.Fatalf("HopDistances: %v", err)
+	}
+	if hops[0][3] != 3 || hops[3][0] != 3 || hops[1][2] != 1 || hops[2][2] != 0 {
+		t.Errorf("hop matrix wrong: %v", hops)
+	}
+}
+
+func TestHopDistancesUnreachableBounded(t *testing.T) {
+	g := graph.New(3)
+	if _, err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	hops, err := HopDistances(g)
+	if err != nil {
+		t.Fatalf("HopDistances: %v", err)
+	}
+	if hops[2][0] != 3 { // node count stands in for unreachable
+		t.Errorf("unreachable distance = %v, want 3", hops[2][0])
+	}
+}
+
+func TestGravityFrictionDiscountsDistance(t *testing.T) {
+	g := lineGraph(t, 4)
+	hops, err := HopDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := []float64{1, 1, 1, 1}
+	m, err := GravityFriction(vols, hops, 1, 100)
+	if err != nil {
+		t.Fatalf("GravityFriction: %v", err)
+	}
+	if math.Abs(m.Total()-100) > 1e-9 {
+		t.Errorf("total = %v, want 100", m.Total())
+	}
+	// Equal volumes: nearer pairs get strictly more traffic.
+	if !(m.At(0, 1) > m.At(0, 2) && m.At(0, 2) > m.At(0, 3)) {
+		t.Errorf("friction not monotone: %v %v %v", m.At(0, 1), m.At(0, 2), m.At(0, 3))
+	}
+	// Symmetric volumes and distances give a symmetric matrix.
+	if math.Abs(m.At(0, 3)-m.At(3, 0)) > 1e-12 {
+		t.Errorf("asymmetric: %v vs %v", m.At(0, 3), m.At(3, 0))
+	}
+}
+
+func TestGravityFrictionReducesToGravity(t *testing.T) {
+	// With a huge friction scale the discount vanishes and the matrix
+	// matches the plain gravity model.
+	g := lineGraph(t, 4)
+	hops, err := HopDistances(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vols := []float64{1, 2, 3, 4}
+	fr, err := GravityFriction(vols, hops, 1e9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Gravity(vols, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		for u := 0; u < 4; u++ {
+			if s == u {
+				continue
+			}
+			if math.Abs(fr.At(s, u)-plain.At(s, u)) > 1e-6 {
+				t.Errorf("(%d,%d): friction %v != gravity %v", s, u, fr.At(s, u), plain.At(s, u))
+			}
+		}
+	}
+}
+
+func TestGravityFrictionErrors(t *testing.T) {
+	hops := [][]float64{{0, 1}, {1, 0}}
+	cases := []struct {
+		name  string
+		vols  []float64
+		dist  [][]float64
+		scale float64
+		total float64
+	}{
+		{name: "one volume", vols: []float64{1}, dist: hops, scale: 1, total: 1},
+		{name: "dist size", vols: []float64{1, 1}, dist: hops[:1], scale: 1, total: 1},
+		{name: "dist row size", vols: []float64{1, 1}, dist: [][]float64{{0}, {1, 0}}, scale: 1, total: 1},
+		{name: "zero scale", vols: []float64{1, 1}, dist: hops, scale: 0, total: 1},
+		{name: "zero total", vols: []float64{1, 1}, dist: hops, scale: 1, total: 0},
+		{name: "negative volume", vols: []float64{1, -1}, dist: hops, scale: 1, total: 1},
+		{name: "all-zero volumes", vols: []float64{0, 0}, dist: hops, scale: 1, total: 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := GravityFriction(tt.vols, tt.dist, tt.scale, tt.total); err == nil {
+				t.Error("bad input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Package traffic models traffic demands (source-destination volume
+// pairs) and the demand generators used by the paper's evaluation:
+// Fortz-Thorup style synthetic demands, the gravity model fed by per-node
+// volumes, and uniform scaling of a matrix to a target network load.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Demand is a single source-destination traffic requirement.
+type Demand struct {
+	Src    int
+	Dst    int
+	Volume float64
+}
+
+// Matrix is a dense n-by-n traffic matrix; entry (s,t) is the average
+// offered volume from s to t. The diagonal is always zero.
+type Matrix struct {
+	n int
+	d []float64 // row-major n*n
+}
+
+// ErrBadDemand reports an invalid demand entry.
+var ErrBadDemand = errors.New("traffic: bad demand")
+
+// NewMatrix returns an all-zero n-by-n traffic matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, d: make([]float64, n*n)}
+}
+
+// FromDemands builds a matrix over n nodes from a demand list,
+// accumulating duplicates.
+func FromDemands(n int, demands []Demand) (*Matrix, error) {
+	m := NewMatrix(n)
+	for _, d := range demands {
+		if err := m.Add(d.Src, d.Dst, d.Volume); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Size returns the number of nodes the matrix covers.
+func (m *Matrix) Size() int { return m.n }
+
+// At returns the (s,t) entry.
+func (m *Matrix) At(s, t int) float64 { return m.d[s*m.n+t] }
+
+// Set replaces the (s,t) entry.
+func (m *Matrix) Set(s, t int, v float64) error {
+	if err := m.check(s, t, v); err != nil {
+		return err
+	}
+	m.d[s*m.n+t] = v
+	return nil
+}
+
+// Add accumulates v onto the (s,t) entry.
+func (m *Matrix) Add(s, t int, v float64) error {
+	if err := m.check(s, t, v); err != nil {
+		return err
+	}
+	m.d[s*m.n+t] += v
+	return nil
+}
+
+func (m *Matrix) check(s, t int, v float64) error {
+	switch {
+	case s < 0 || s >= m.n || t < 0 || t >= m.n:
+		return fmt.Errorf("%w: pair (%d,%d) out of range for %d nodes", ErrBadDemand, s, t, m.n)
+	case s == t:
+		return fmt.Errorf("%w: self-demand at node %d", ErrBadDemand, s)
+	case v < 0 || math.IsNaN(v) || math.IsInf(v, 0):
+		return fmt.Errorf("%w: volume %v", ErrBadDemand, v)
+	}
+	return nil
+}
+
+// Total returns the sum of all demand volumes.
+func (m *Matrix) Total() float64 {
+	var sum float64
+	for _, v := range m.d {
+		sum += v
+	}
+	return sum
+}
+
+// Demands lists all nonzero entries in row-major order.
+func (m *Matrix) Demands() []Demand {
+	var out []Demand
+	for s := 0; s < m.n; s++ {
+		for t := 0; t < m.n; t++ {
+			if v := m.At(s, t); v > 0 {
+				out = append(out, Demand{Src: s, Dst: t, Volume: v})
+			}
+		}
+	}
+	return out
+}
+
+// Destinations lists the distinct destination nodes with positive inbound
+// demand, in increasing order (the commodity set D of the paper).
+func (m *Matrix) Destinations() []int {
+	var out []int
+	for t := 0; t < m.n; t++ {
+		for s := 0; s < m.n; s++ {
+			if m.At(s, t) > 0 {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ToDestination returns the per-source demand vector d^t for destination
+// t: entry s is the volume entering at s destined to t.
+func (m *Matrix) ToDestination(t int) []float64 {
+	out := make([]float64, m.n)
+	for s := 0; s < m.n; s++ {
+		out[s] = m.At(s, t)
+	}
+	return out
+}
+
+// Scale multiplies every entry by factor (factor >= 0).
+func (m *Matrix) Scale(factor float64) error {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return fmt.Errorf("%w: scale factor %v", ErrBadDemand, factor)
+	}
+	for i := range m.d {
+		m.d[i] *= factor
+	}
+	return nil
+}
+
+// Scaled returns a copy of the matrix with every entry multiplied by
+// factor.
+func (m *Matrix) Scaled(factor float64) (*Matrix, error) {
+	c := m.Clone()
+	if err := c.Scale(factor); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.n)
+	copy(c.d, m.d)
+	return c
+}
+
+// NetworkLoad returns total demand divided by total link capacity — the
+// "network load(ing)" x-axis of the paper's Figures 9, 10 and 13.
+func (m *Matrix) NetworkLoad(g *graph.Graph) float64 {
+	total := g.TotalCapacity()
+	if total == 0 {
+		return 0
+	}
+	return m.Total() / total
+}
+
+// ScaledToLoad returns a copy of the matrix uniformly scaled so that
+// total demand / total capacity equals load.
+func (m *Matrix) ScaledToLoad(g *graph.Graph, load float64) (*Matrix, error) {
+	cur := m.NetworkLoad(g)
+	if cur == 0 {
+		return nil, errors.New("traffic: cannot scale an all-zero matrix to a load")
+	}
+	return m.Scaled(load / cur)
+}

@@ -1,0 +1,308 @@
+package spef
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/netsim"
+	"repro/internal/objective"
+	"repro/internal/routing"
+)
+
+// Config tunes Optimize. The zero value selects the paper's defaults:
+// beta = 1 (proportional load balance), q = 1 on every link, automatic
+// iteration budgets and equal-cost tolerance.
+type Config struct {
+	// Beta is the load-balance exponent of the (q, beta) objective.
+	// A plain zero Config means beta = 1 (the paper's evaluation
+	// default); to request beta = 0 (minimum total load), set BetaSet.
+	Beta float64
+	// BetaSet forces Beta to be honored even when it is 0 (so the
+	// zero-value Config still means beta = 1).
+	BetaSet bool
+	// Q optionally supplies per-link objective coefficients (nil = 1).
+	Q []float64
+	// MaxIterations bounds Algorithm 1's subgradient phase (0 = default).
+	MaxIterations int
+	// SplitIterations bounds Algorithm 2 (0 = default).
+	SplitIterations int
+	// EqualCostTolerance is the Dijkstra equal-cost tolerance used to
+	// build the shortest-path DAGs (0 = the paper's default of 0.3 in
+	// the normalized weight space).
+	EqualCostTolerance float64
+}
+
+func (c Config) beta() float64 {
+	if c.BetaSet || c.Beta != 0 {
+		return c.Beta
+	}
+	return 1
+}
+
+// Protocol is an optimized SPEF routing state for one network and
+// demand set: two weights per link plus per-destination split ratios.
+type Protocol struct {
+	net *Network
+	p   *core.Protocol
+}
+
+// Optimize runs the full SPEF pipeline (the paper's Algorithm 4):
+// Algorithm 1 computes the first (optimal) link weights and the optimal
+// traffic distribution, Dijkstra builds the equal-cost DAGs, and
+// Algorithm 2 computes the second link weights realizing the optimum by
+// exponential splitting.
+func Optimize(n *Network, d *Demands, cfg Config) (*Protocol, error) {
+	obj, err := objective.NewQBeta(cfg.beta(), n.NumLinks(), cfg.Q)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.Build(n.g, d.m, obj, core.Options{
+		First:       core.FirstWeightOptions{MaxIters: cfg.MaxIterations},
+		Second:      core.SecondWeightOptions{MaxIters: cfg.SplitIterations},
+		DijkstraTol: cfg.EqualCostTolerance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{net: n, p: p}, nil
+}
+
+// FirstWeights returns the first (optimal) link weight vector.
+func (p *Protocol) FirstWeights() []float64 {
+	return append([]float64(nil), p.p.W...)
+}
+
+// SecondWeights returns the second link weight vector (the "one more
+// weight" driving the exponential split).
+func (p *Protocol) SecondWeights() []float64 {
+	return append([]float64(nil), p.p.V...)
+}
+
+// IntegerFirstWeights returns the first weights rounded to the integers
+// an OSPF implementation can carry (Section V-G), together with the
+// normalization scale.
+func (p *Protocol) IntegerFirstWeights() ([]float64, float64, error) {
+	return core.IntegerWeights(p.p.First.W, p.p.First.Spare)
+}
+
+// SplitRatios returns, for the given destination, the fraction of
+// traffic each link's tail forwards over it (Eq. 22). Indexed by link
+// ID; links outside the destination's shortest-path DAG carry 0.
+func (p *Protocol) SplitRatios(dst int) ([]float64, error) {
+	s, ok := p.p.Splits[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: no forwarding state for destination %d", ErrBadInput, dst)
+	}
+	return append([]float64(nil), s...), nil
+}
+
+// EqualCostPaths returns the number of equal-cost shortest paths SPEF
+// uses between the pair (the paper's Table V statistic).
+func (p *Protocol) EqualCostPaths(src, dst int) (int, error) {
+	return p.p.EqualCostPaths(src, dst)
+}
+
+// ForwardingEntry is one next hop of a forwarding table: the equal-cost
+// next hop, the second-weight lengths of the shortest paths through it,
+// and its traffic share.
+type ForwardingEntry struct {
+	Link        int
+	NextHop     int
+	PathLengths []float64
+	Ratio       float64
+}
+
+// ForwardingTable is the SPEF forwarding state of one (node,
+// destination) pair — the paper's Table II.
+type ForwardingTable struct {
+	Node    int
+	Dst     int
+	Entries []ForwardingEntry
+}
+
+// ForwardingTable renders the forwarding state of a node toward a
+// destination.
+func (p *Protocol) ForwardingTable(node, dst int) (*ForwardingTable, error) {
+	ft, err := p.p.ForwardingTable(node, dst)
+	if err != nil {
+		return nil, err
+	}
+	out := &ForwardingTable{Node: ft.Node, Dst: ft.Dst}
+	for _, e := range ft.Entries {
+		out.Entries = append(out.Entries, ForwardingEntry{
+			Link:        e.Link,
+			NextHop:     e.NextHop,
+			PathLengths: append([]float64(nil), e.PathLengths...),
+			Ratio:       e.Ratio,
+		})
+	}
+	return out, nil
+}
+
+// TrafficReport summarizes a routing outcome on a network.
+type TrafficReport struct {
+	// LinkFlow is the per-link carried volume.
+	LinkFlow []float64
+	// LinkUtilization is LinkFlow over capacity.
+	LinkUtilization []float64
+	// MLU is the maximum link utilization.
+	MLU float64
+	// Utility is the normalized utility sum log(1 - u) of the paper's
+	// Fig. 10 (-Inf when MLU >= 1).
+	Utility float64
+}
+
+func reportFor(n *Network, total []float64) *TrafficReport {
+	return &TrafficReport{
+		LinkFlow:        append([]float64(nil), total...),
+		LinkUtilization: objective.Utilizations(n.g, total),
+		MLU:             objective.MLU(n.g, total),
+		Utility:         objective.LogSpareUtility(n.g, total),
+	}
+}
+
+// Evaluate computes the deterministic traffic distribution SPEF induces
+// for the demands (destinations must be covered by the optimized state).
+func (p *Protocol) Evaluate(d *Demands) (*TrafficReport, error) {
+	flow, err := p.p.Flow(d.m)
+	if err != nil {
+		return nil, err
+	}
+	return reportFor(p.net, flow.Total), nil
+}
+
+// EvaluateOSPF evaluates plain OSPF with even ECMP splitting. weights
+// nil selects Cisco-style InvCap weights (the paper's baseline).
+func EvaluateOSPF(n *Network, d *Demands, weights []float64) (*TrafficReport, error) {
+	o, err := routing.BuildOSPF(n.g, d.m.Destinations(), weights, 0)
+	if err != nil {
+		return nil, err
+	}
+	flow, err := o.Flow(d.m)
+	if err != nil {
+		return nil, err
+	}
+	return reportFor(n, flow.Total), nil
+}
+
+// EvaluatePEFT evaluates downward PEFT under the given link weights.
+func EvaluatePEFT(n *Network, d *Demands, weights []float64) (*TrafficReport, error) {
+	p, err := routing.BuildPEFT(n.g, d.m.Destinations(), weights)
+	if err != nil {
+		return nil, err
+	}
+	flow, err := p.Flow(d.m)
+	if err != nil {
+		return nil, err
+	}
+	return reportFor(n, flow.Total), nil
+}
+
+// OptimalUtility returns the best achievable normalized utility for the
+// demands under the beta=1 objective (the optimal-TE reference SPEF
+// provably attains).
+func OptimalUtility(n *Network, d *Demands) (float64, error) {
+	obj, err := objective.NewQBeta(1, n.NumLinks(), nil)
+	if err != nil {
+		return 0, err
+	}
+	fw, err := mcf.FrankWolfeContinuation(n.g, d.m, obj, mcf.FWOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return objective.LogSpareUtility(n.g, fw.Flow.Total), nil
+}
+
+// MinMLU returns the minimum achievable maximum link utilization for the
+// demands (an LP bound; intended for small and medium networks).
+func MinMLU(n *Network, d *Demands) (float64, error) {
+	r, err := mcf.MinMLU(n.g, d.m)
+	if err != nil {
+		return 0, err
+	}
+	return r.MLU, nil
+}
+
+// SimulationConfig tunes packet-level simulation.
+type SimulationConfig struct {
+	// CapacityBitsPerUnit converts one unit of link capacity into a bit
+	// rate (e.g. 1e6 simulates a capacity-5 link at 5 Mb/s). Required.
+	CapacityBitsPerUnit float64
+	// DurationSeconds is the simulated time (0 = 400 s, the paper's run).
+	DurationSeconds float64
+	// PacketBits is the packet size (0 = 12000 bits).
+	PacketBits float64
+	// FlowsPerDemand selects forwarding granularity: 0 samples a next
+	// hop per packet; k > 0 hashes packets onto k flows per demand and
+	// pins each flow's path (real ECMP semantics, no intra-flow
+	// reordering).
+	FlowsPerDemand int
+	// Seed drives arrivals and per-packet next-hop sampling.
+	Seed int64
+}
+
+// SimulationReport is a packet-level measurement.
+type SimulationReport struct {
+	// LinkLoadBits is the mean per-link load in bits/second.
+	LinkLoadBits []float64
+	// LinkUtilization is load over the link's simulated bit rate.
+	LinkUtilization []float64
+	// Generated, Delivered and Dropped count packets.
+	Generated, Delivered, Dropped int
+	// AvgDelaySeconds is the mean end-to-end packet delay.
+	AvgDelaySeconds float64
+}
+
+func simReport(r *netsim.Result) *SimulationReport {
+	return &SimulationReport{
+		LinkLoadBits:    r.LinkLoad,
+		LinkUtilization: r.LinkUtilization,
+		Generated:       r.Generated,
+		Delivered:       r.Delivered,
+		Dropped:         r.Dropped,
+		AvgDelaySeconds: r.AvgDelaySeconds,
+	}
+}
+
+// Simulate runs the packet-level simulator with SPEF's forwarding state
+// (per-packet probabilistic next hops drawn from the split ratios).
+func (p *Protocol) Simulate(d *Demands, cfg SimulationConfig) (*SimulationReport, error) {
+	r, err := netsim.Run(netsim.Config{
+		G:              p.net.g,
+		CapacityUnit:   cfg.CapacityBitsPerUnit,
+		Demands:        d.m.Demands(),
+		Splits:         p.p.Splits,
+		PacketBits:     cfg.PacketBits,
+		Duration:       cfg.DurationSeconds,
+		FlowsPerDemand: cfg.FlowsPerDemand,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simReport(r), nil
+}
+
+// SimulatePEFT runs the packet-level simulator with downward-PEFT
+// forwarding under the given weights (the paper's Fig. 11 comparison).
+func SimulatePEFT(n *Network, d *Demands, weights []float64, cfg SimulationConfig) (*SimulationReport, error) {
+	peft, err := routing.BuildPEFT(n.g, d.m.Destinations(), weights)
+	if err != nil {
+		return nil, err
+	}
+	r, err := netsim.Run(netsim.Config{
+		G:              n.g,
+		CapacityUnit:   cfg.CapacityBitsPerUnit,
+		Demands:        d.m.Demands(),
+		Splits:         peft.Splits,
+		PacketBits:     cfg.PacketBits,
+		Duration:       cfg.DurationSeconds,
+		FlowsPerDemand: cfg.FlowsPerDemand,
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return simReport(r), nil
+}

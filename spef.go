@@ -1,0 +1,213 @@
+// Package spef is a Go implementation of SPEF — "Shortest paths
+// Penalizing Exponential Flow-splitting" — the OSPF-compatible optimal
+// traffic-engineering protocol of Xu, Liu, Liu and Shen, "One More
+// Weight is Enough: Toward the Optimal Traffic Engineering with OSPF"
+// (ICDCS 2011).
+//
+// SPEF computes two weights per link: the first weights make every
+// optimal route a shortest path (Theorem 3.1), and the second weights
+// let each router independently split traffic across its equal-cost next
+// hops by an exponential rule (Eq. 22) so that the network-wide
+// distribution is the optimum of a (q, beta) proportional load-balance
+// objective. beta = 0 yields minimum-total-load routing, beta = 1
+// proportional load balance (minimum M/M/1 delay), and beta -> infinity
+// min-max load balance.
+//
+// Typical use:
+//
+//	n := spef.Abilene()
+//	d, _ := spef.FortzThorupDemands(1, n)
+//	d, _ = d.ScaledToLoad(n, 0.17)
+//	p, _ := spef.Optimize(n, d, spef.Config{Beta: 1})
+//	report, _ := p.Evaluate(d)
+//	fmt.Println(report.MLU, report.Utility)
+//
+// The packages under internal/ hold the substrates (graph algorithms,
+// flow solvers, an LP solver, a packet-level simulator) and the
+// experiment harness regenerating every table and figure of the paper;
+// see DESIGN.md and EXPERIMENTS.md.
+package spef
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// ErrBadInput reports invalid arguments to the public API.
+var ErrBadInput = errors.New("spef: bad input")
+
+// Network is a directed capacitated network. Links are directed;
+// AddDuplex adds both directions of a physical cable.
+type Network struct {
+	g *graph.Graph
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{g: graph.New(0)}
+}
+
+// AddNode appends a node with the given name and returns its ID.
+func (n *Network) AddNode(name string) int {
+	return n.g.AddNode(name)
+}
+
+// AddLink adds a directed link and returns its ID.
+func (n *Network) AddLink(from, to int, capacity float64) (int, error) {
+	return n.g.AddLink(from, to, capacity)
+}
+
+// AddDuplex adds both directions of a physical cable and returns the two
+// link IDs.
+func (n *Network) AddDuplex(a, b int, capacity float64) (int, int, error) {
+	return n.g.AddDuplex(a, b, capacity)
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return n.g.NumNodes() }
+
+// NumLinks returns the directed-link count.
+func (n *Network) NumLinks() int { return n.g.NumLinks() }
+
+// NodeName returns the node's name.
+func (n *Network) NodeName(node int) string { return n.g.Name(node) }
+
+// NodeByName returns the first node with the given name.
+func (n *Network) NodeByName(name string) (int, bool) { return n.g.NodeByName(name) }
+
+// Link returns a link's endpoints and capacity.
+func (n *Network) Link(id int) (from, to int, capacity float64) {
+	l := n.g.Link(id)
+	return l.From, l.To, l.Cap
+}
+
+// TotalCapacity returns the sum of all link capacities.
+func (n *Network) TotalCapacity() float64 { return n.g.TotalCapacity() }
+
+// Validate checks structural invariants.
+func (n *Network) Validate() error { return n.g.Validate() }
+
+// Abilene returns the 11-node, 28-link Abilene research backbone
+// (10 Gbps links; capacities in Gbps).
+func Abilene() *Network { return &Network{g: topo.Abilene()} }
+
+// Cernet2 returns the 20-node, 44-link CERNET2 backbone used in the
+// paper's evaluation (10 Gbps trunks, 2.5 Gbps standard links).
+func Cernet2() *Network { return &Network{g: topo.Cernet2()} }
+
+// Fig1Example returns the paper's 4-node illustration network together
+// with its demands (1 unit for pair (1,3), 0.9 for (3,4)).
+func Fig1Example() (*Network, *Demands, error) {
+	n := &Network{g: topo.Fig1()}
+	d, err := demandsFrom(n, topo.Fig1Demands())
+	return n, d, err
+}
+
+// SimpleExample returns the paper's Fig. 4 seven-node example network
+// with its four 4-unit demands.
+func SimpleExample() (*Network, *Demands, error) {
+	n := &Network{g: topo.Simple()}
+	d, err := demandsFrom(n, topo.SimpleDemands())
+	return n, d, err
+}
+
+// RandomNetwork generates a connected random network with unit
+// capacities (seeded, deterministic).
+func RandomNetwork(seed int64, nodes, directedLinks int) (*Network, error) {
+	g, err := topo.Random(seed, nodes, directedLinks)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// HierarchicalNetwork generates a GT-ITM style 2-level network: local
+// links of capacity 1, long-distance links of capacity 5.
+func HierarchicalNetwork(seed int64, nodes, clusters, directedLinks int) (*Network, error) {
+	g, err := topo.Hier2Level(seed, nodes, clusters, directedLinks)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// Demands is a traffic matrix over a network's nodes.
+type Demands struct {
+	m *traffic.Matrix
+}
+
+// NewDemands returns an empty demand set for the network.
+func NewDemands(n *Network) *Demands {
+	return &Demands{m: traffic.NewMatrix(n.NumNodes())}
+}
+
+func demandsFrom(n *Network, list []traffic.Demand) (*Demands, error) {
+	m, err := traffic.FromDemands(n.NumNodes(), list)
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
+}
+
+// Add accumulates volume onto the (src, dst) demand.
+func (d *Demands) Add(src, dst int, volume float64) error {
+	return d.m.Add(src, dst, volume)
+}
+
+// At returns the (src, dst) demand volume.
+func (d *Demands) At(src, dst int) float64 { return d.m.At(src, dst) }
+
+// Total returns the aggregate demand volume.
+func (d *Demands) Total() float64 { return d.m.Total() }
+
+// NetworkLoad returns total demand over total capacity.
+func (d *Demands) NetworkLoad(n *Network) float64 { return d.m.NetworkLoad(n.g) }
+
+// ScaledToLoad returns a copy scaled so that NetworkLoad equals load.
+func (d *Demands) ScaledToLoad(n *Network, load float64) (*Demands, error) {
+	m, err := d.m.ScaledToLoad(n.g, load)
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
+}
+
+// Scaled returns a copy with every volume multiplied by factor.
+func (d *Demands) Scaled(factor float64) (*Demands, error) {
+	m, err := d.m.Scaled(factor)
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
+}
+
+// Clone returns a deep copy.
+func (d *Demands) Clone() *Demands { return &Demands{m: d.m.Clone()} }
+
+// FortzThorupDemands generates the synthetic demand matrix of Fortz and
+// Thorup (seeded, deterministic): D(s,t) = O_s * I_t * C_st with uniform
+// random factors.
+func FortzThorupDemands(seed int64, n *Network) (*Demands, error) {
+	m, err := traffic.FortzThorup(seed, n.NumNodes(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
+}
+
+// GravityDemands builds a gravity-model matrix from per-node volumes
+// normalized to the given total.
+func GravityDemands(n *Network, volumes []float64, total float64) (*Demands, error) {
+	if len(volumes) != n.NumNodes() {
+		return nil, fmt.Errorf("%w: got %d volumes for %d nodes", ErrBadInput, len(volumes), n.NumNodes())
+	}
+	m, err := traffic.Gravity(volumes, total)
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
+}

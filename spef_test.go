@@ -1,0 +1,345 @@
+package spef
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestOptimizeFig1(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatalf("Fig1Example: %v", err)
+	}
+	p, err := Optimize(n, d, Config{Beta: 1, MaxIterations: 20000})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	w := p.FirstWeights()
+	want := []float64{3, 10, 1.5, 1.5}
+	for e := range want {
+		if math.Abs(w[e]-want[e])/want[e] > 0.03 {
+			t.Errorf("FirstWeights[%d] = %v, want %v", e, w[e], want[e])
+		}
+	}
+	report, err := p.Evaluate(d)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if math.Abs(report.MLU-0.9) > 0.02 {
+		t.Errorf("MLU = %v, want 0.9", report.MLU)
+	}
+	wantU := []float64{2.0 / 3.0, 0.9, 1.0 / 3.0, 1.0 / 3.0}
+	for e := range wantU {
+		if math.Abs(report.LinkUtilization[e]-wantU[e]) > 0.04 {
+			t.Errorf("utilization[%d] = %v, want %v", e, report.LinkUtilization[e], wantU[e])
+		}
+	}
+}
+
+func TestZeroConfigMeansBeta1(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(n, d, Config{MaxIterations: 4000})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	// Beta=1 behaviour: traffic is split, not single-path.
+	split, err := p.SplitRatios(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, ok := n.NodeByName("n1")
+	if !ok {
+		t.Fatal("node n1 missing")
+	}
+	_ = direct
+	var nonZero int
+	for _, r := range split {
+		if r > 0.01 {
+			nonZero++
+		}
+	}
+	if nonZero < 3 {
+		t.Errorf("split uses %d links, want >= 3 (multipath)", nonZero)
+	}
+}
+
+func TestBetaSetZeroIsMinHop(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(n, d, Config{Beta: 0, BetaSet: true, MaxIterations: 6000})
+	if err != nil {
+		t.Fatalf("Optimize beta=0: %v", err)
+	}
+	report, err := p.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min-hop: everything on the direct link.
+	if report.LinkUtilization[0] < 0.95 {
+		t.Errorf("direct link utilization = %v, want ~1 under beta=0", report.LinkUtilization[0])
+	}
+}
+
+func TestSPEFBeatsOSPFOnSimpleExample(t *testing.T) {
+	n, d, err := SimpleExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ospf, err := EvaluateOSPF(n, d, nil)
+	if err != nil {
+		t.Fatalf("EvaluateOSPF: %v", err)
+	}
+	p, err := Optimize(n, d, Config{MaxIterations: 6000})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	spef, err := p.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spef.MLU >= ospf.MLU {
+		t.Errorf("SPEF MLU %v not better than OSPF %v", spef.MLU, ospf.MLU)
+	}
+	if ospf.MLU <= 1 {
+		t.Errorf("OSPF MLU = %v, expected overload on this example", ospf.MLU)
+	}
+	// SPEF's utility approaches the optimal-TE reference.
+	opt, err := OptimalUtility(n, d)
+	if err != nil {
+		t.Fatalf("OptimalUtility: %v", err)
+	}
+	if spef.Utility < opt-0.1*math.Abs(opt)-0.1 {
+		t.Errorf("SPEF utility %v far below optimum %v", spef.Utility, opt)
+	}
+}
+
+func TestPEFTEvaluates(t *testing.T) {
+	n, d, err := SimpleExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(n, d, Config{MaxIterations: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peft, err := EvaluatePEFT(n, d, p.FirstWeights())
+	if err != nil {
+		t.Fatalf("EvaluatePEFT: %v", err)
+	}
+	if peft.MLU <= 0 {
+		t.Errorf("PEFT MLU = %v", peft.MLU)
+	}
+}
+
+func TestForwardingTableAndIntegerWeights(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(n, d, Config{MaxIterations: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := p.ForwardingTable(0, 2)
+	if err != nil {
+		t.Fatalf("ForwardingTable: %v", err)
+	}
+	if len(ft.Entries) != 2 {
+		t.Errorf("entries = %d, want 2", len(ft.Entries))
+	}
+	iw, scale, err := p.IntegerFirstWeights()
+	if err != nil {
+		t.Fatalf("IntegerFirstWeights: %v", err)
+	}
+	if scale <= 0 {
+		t.Errorf("scale = %v", scale)
+	}
+	for e, w := range iw {
+		if w < 1 || w != math.Trunc(w) {
+			t.Errorf("integer weight[%d] = %v", e, w)
+		}
+	}
+	if _, err := p.SplitRatios(1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("SplitRatios for non-destination: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestMinMLUFacade(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlu, err := MinMLU(n, d)
+	if err != nil {
+		t.Fatalf("MinMLU: %v", err)
+	}
+	if math.Abs(mlu-0.9) > 1e-6 {
+		t.Errorf("MinMLU = %v, want 0.9", mlu)
+	}
+}
+
+func TestSimulateMatchesEvaluate(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(n, d, Config{MaxIterations: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, err := p.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := p.Simulate(d, SimulationConfig{
+		CapacityBitsPerUnit: 1e6,
+		DurationSeconds:     120,
+		Seed:                5,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	for e := range analytic.LinkUtilization {
+		if math.Abs(sim.LinkUtilization[e]-analytic.LinkUtilization[e]) > 0.05 {
+			t.Errorf("link %d: simulated %v vs analytic %v", e,
+				sim.LinkUtilization[e], analytic.LinkUtilization[e])
+		}
+	}
+	if sim.Delivered == 0 {
+		t.Error("no packets delivered")
+	}
+	peftSim, err := SimulatePEFT(n, d, p.FirstWeights(), SimulationConfig{
+		CapacityBitsPerUnit: 1e6,
+		DurationSeconds:     60,
+		Seed:                6,
+	})
+	if err != nil {
+		t.Fatalf("SimulatePEFT: %v", err)
+	}
+	if peftSim.Delivered == 0 {
+		t.Error("PEFT simulation delivered nothing")
+	}
+}
+
+func TestNetworkBuilders(t *testing.T) {
+	if got := Abilene().NumLinks(); got != 28 {
+		t.Errorf("Abilene links = %d, want 28", got)
+	}
+	if got := Cernet2().NumNodes(); got != 20 {
+		t.Errorf("Cernet2 nodes = %d, want 20", got)
+	}
+	r, err := RandomNetwork(1, 20, 60)
+	if err != nil {
+		t.Fatalf("RandomNetwork: %v", err)
+	}
+	if r.NumLinks() != 60 {
+		t.Errorf("RandomNetwork links = %d, want 60", r.NumLinks())
+	}
+	h, err := HierarchicalNetwork(1, 20, 4, 60)
+	if err != nil {
+		t.Fatalf("HierarchicalNetwork: %v", err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := RandomNetwork(1, 2, 99); err == nil {
+		t.Error("bad RandomNetwork params accepted")
+	}
+}
+
+func TestDemandsHelpers(t *testing.T) {
+	n := Abilene()
+	d, err := FortzThorupDemands(3, n)
+	if err != nil {
+		t.Fatalf("FortzThorupDemands: %v", err)
+	}
+	scaled, err := d.ScaledToLoad(n, 0.1)
+	if err != nil {
+		t.Fatalf("ScaledToLoad: %v", err)
+	}
+	if math.Abs(scaled.NetworkLoad(n)-0.1) > 1e-9 {
+		t.Errorf("NetworkLoad = %v, want 0.1", scaled.NetworkLoad(n))
+	}
+	c := scaled.Clone()
+	if err := c.Add(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() == scaled.Total() {
+		t.Error("Clone shares storage")
+	}
+	vols := make([]float64, n.NumNodes())
+	for i := range vols {
+		vols[i] = float64(i + 1)
+	}
+	gd, err := GravityDemands(n, vols, 50)
+	if err != nil {
+		t.Fatalf("GravityDemands: %v", err)
+	}
+	if math.Abs(gd.Total()-50) > 1e-6 {
+		t.Errorf("gravity total = %v, want 50", gd.Total())
+	}
+	if _, err := GravityDemands(n, vols[:2], 50); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short volumes: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestParseAndWriteRoundTrip(t *testing.T) {
+	const input = `# test network
+node a
+node b
+node c
+duplex a b 10
+link b c 5
+demand a c 2.5
+demand c a 0
+`
+	n, d, err := ParseNetworkAndDemands(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.NumNodes() != 3 || n.NumLinks() != 3 {
+		t.Fatalf("parsed %d nodes %d links, want 3/3", n.NumNodes(), n.NumLinks())
+	}
+	if got := d.Total(); got != 2.5 {
+		t.Errorf("demand total = %v, want 2.5", got)
+	}
+	var sb strings.Builder
+	if err := WriteNetworkAndDemands(&sb, n, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	n2, d2, err := ParseNetworkAndDemands(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, sb.String())
+	}
+	if n2.NumLinks() != n.NumLinks() || d2.Total() != d.Total() {
+		t.Errorf("round trip mismatch: links %d vs %d, demand %v vs %v",
+			n2.NumLinks(), n.NumLinks(), d2.Total(), d.Total())
+	}
+	if !strings.Contains(sb.String(), "duplex a b 10") {
+		t.Errorf("duplex not re-emitted:\n%s", sb.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"node a\nnode a\n",
+		"link a b 1\n",
+		"node a\nnode b\nlink a b x\n",
+		"node a\nnode b\nlink a b\n",
+		"frobnicate\n",
+		"node a\nnode b\ndemand a b -1\n",
+		"",
+	}
+	for i, c := range cases {
+		if _, _, err := ParseNetworkAndDemands(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad input accepted: %q", i, c)
+		}
+	}
+}
