@@ -8,6 +8,7 @@ package spef_test
 //	go test -bench=. -benchmem ./... | tee bench_output.txt
 
 import (
+	"context"
 	"io"
 	"math"
 	"testing"
@@ -22,10 +23,10 @@ import (
 	"repro/internal/traffic"
 )
 
-func benchExperiment[T interface{ Format(io.Writer) }](b *testing.B, run func(experiments.Options) (T, error)) {
+func benchExperiment[T interface{ Format(io.Writer) }](b *testing.B, run func(context.Context, experiments.Options) (T, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := run(experiments.Options{}); err != nil {
+		if _, err := run(context.Background(), experiments.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +100,7 @@ func BenchmarkAblationAlg1Diminishing(b *testing.B) {
 	g, tm := cernetSetup(b)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{
+		if _, err := core.FirstWeights(context.Background(), g, tm, obj, core.FirstWeightOptions{
 			MaxIters: 1000, Mode: core.StepDiminishing, NoRefine: true,
 		}); err != nil {
 			b.Fatal(err)
@@ -113,7 +114,7 @@ func BenchmarkAblationAlg1Constant(b *testing.B) {
 	g, tm := cernetSetup(b)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{
+		if _, err := core.FirstWeights(context.Background(), g, tm, obj, core.FirstWeightOptions{
 			MaxIters: 1000, Mode: core.StepConstant, NoRefine: true,
 		}); err != nil {
 			b.Fatal(err)
@@ -127,7 +128,7 @@ func BenchmarkAblationAlg1Refined(b *testing.B) {
 	g, tm := cernetSetup(b)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
 	for i := 0; i < b.N; i++ {
-		if _, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{
+		if _, err := core.FirstWeights(context.Background(), g, tm, obj, core.FirstWeightOptions{
 			MaxIters: 1000,
 		}); err != nil {
 			b.Fatal(err)
@@ -139,7 +140,7 @@ func spefSplitSetup(b *testing.B) (*graph.Graph, *graph.DAG, []float64) {
 	b.Helper()
 	g, tm := cernetSetup(b)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 800}})
+	p, err := core.Build(context.Background(), g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 800}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func BenchmarkFrankWolfeCernet2(b *testing.B) {
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mcf.FrankWolfeContinuation(g, tm, obj, mcf.FWOptions{MaxIters: 500}); err != nil {
+		if _, err := mcf.FrankWolfeContinuation(context.Background(), g, tm, obj, mcf.FWOptions{MaxIters: 500}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -231,7 +232,7 @@ func BenchmarkNetsimSecond(b *testing.B) {
 		b.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 800}})
+	p, err := core.Build(context.Background(), g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 800}})
 	if err != nil {
 		b.Fatal(err)
 	}

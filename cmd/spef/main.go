@@ -1,28 +1,33 @@
 // Command spef regenerates the paper's tables and figures. Usage:
 //
-//	spef [-quick] <experiment> [<experiment> ...]
+//	spef [-quick] [-workers N] <experiment> [<experiment> ...]
 //	spef [-quick] all
 //
 // Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
 // table5 fig12 fig13. fig6 and fig7 share one runner and print both.
+// Interrupting the process (SIGINT/SIGTERM) cancels the running
+// experiment cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 )
 
-type runner func(experiments.Options) (interface{ Format(io.Writer) }, error)
+type runner func(context.Context, experiments.Options) (interface{ Format(io.Writer) }, error)
 
-func wrap[T interface{ Format(io.Writer) }](f func(experiments.Options) (T, error)) runner {
-	return func(o experiments.Options) (interface{ Format(io.Writer) }, error) {
-		return f(o)
+func wrap[T interface{ Format(io.Writer) }](f func(context.Context, experiments.Options) (T, error)) runner {
+	return func(ctx context.Context, o experiments.Options) (interface{ Format(io.Writer) }, error) {
+		return f(ctx, o)
 	}
 }
 
@@ -53,6 +58,7 @@ var order = []string{
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity run (fast)")
+	workers := flag.Int("workers", 0, "concurrent cells in sweeping experiments (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -63,20 +69,22 @@ func main() {
 	if len(names) == 1 && names[0] == "all" {
 		names = order
 	}
-	if err := run(names, experiments.Options{Quick: *quick}); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, names, experiments.Options{Quick: *quick, Workers: *workers}); err != nil {
 		fmt.Fprintln(os.Stderr, "spef:", err)
 		os.Exit(1)
 	}
 }
 
-func run(names []string, opts experiments.Options) error {
+func run(ctx context.Context, names []string, opts experiments.Options) error {
 	for _, name := range names {
 		r, ok := registry[name]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (try: %v)", name, known())
 		}
 		start := time.Now()
-		res, err := r(opts)
+		res, err := r(ctx, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -97,5 +105,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] <experiment>... | all\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\nexperiments: %v\n", known())
 }

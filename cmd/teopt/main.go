@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	spef "repro"
@@ -28,13 +31,15 @@ func main() {
 		integer = flag.Bool("integer", false, "also print OSPF-compatible integer weights")
 	)
 	flag.Parse()
-	if err := run(*in, *beta, *iters, *load, *integer); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *in, *beta, *iters, *load, *integer); err != nil {
 		fmt.Fprintln(os.Stderr, "teopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, beta float64, iters int, load float64, integer bool) error {
+func run(ctx context.Context, in string, beta float64, iters int, load float64, integer bool) error {
 	var src io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -59,7 +64,7 @@ func run(in string, beta float64, iters int, load float64, integer bool) error {
 	fmt.Printf("network: %d nodes, %d links, demand %.4g (load %.4f)\n",
 		n.NumNodes(), n.NumLinks(), d.Total(), d.NetworkLoad(n))
 
-	p, err := spef.Optimize(n, d, spef.Config{Beta: beta, BetaSet: true, MaxIterations: iters})
+	p, err := spef.Optimize(ctx, n, d, spef.WithBeta(beta), spef.WithMaxIterations(iters))
 	if err != nil {
 		return err
 	}
@@ -67,7 +72,11 @@ func run(in string, beta float64, iters int, load float64, integer bool) error {
 	if err != nil {
 		return err
 	}
-	ospf, err := spef.EvaluateOSPF(n, d, nil)
+	ospfRoutes, err := spef.OSPF(nil).Routes(ctx, n, d)
+	if err != nil {
+		return err
+	}
+	ospf, err := ospfRoutes.Evaluate(d)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package spef_test
 
 import (
+	"context"
 	"fmt"
 
 	spef "repro"
@@ -15,7 +16,8 @@ func ExampleOptimize() {
 	if err != nil {
 		panic(err)
 	}
-	p, err := spef.Optimize(n, d, spef.Config{Beta: 1, MaxIterations: 20000})
+	p, err := spef.Optimize(context.Background(), n, d,
+		spef.WithBeta(1), spef.WithMaxIterations(20000))
 	if err != nil {
 		panic(err)
 	}
@@ -36,21 +38,25 @@ func ExampleOptimize() {
 	// MLU 0.90
 }
 
-// ExampleEvaluateOSPF shows the baseline comparison: on the same
-// instance InvCap OSPF has no equal-cost tie, routes everything on the
-// direct link and saturates it.
-func ExampleEvaluateOSPF() {
+// ExampleOSPF shows the baseline comparison through the uniform Router
+// interface: on the same instance InvCap OSPF has no equal-cost tie,
+// routes everything on the direct link and saturates it.
+func ExampleOSPF() {
 	n, d, err := spef.Fig1Example()
 	if err != nil {
 		panic(err)
 	}
-	report, err := spef.EvaluateOSPF(n, d, nil)
+	routes, err := spef.OSPF(nil).Routes(context.Background(), n, d)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("OSPF MLU %.2f\n", report.MLU)
+	report, err := routes.Evaluate(d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s MLU %.2f\n", routes.Router(), report.MLU)
 	// Output:
-	// OSPF MLU 1.00
+	// InvCap-OSPF MLU 1.00
 }
 
 // ExampleProtocol_ForwardingTable prints the SPEF forwarding state of
@@ -61,7 +67,8 @@ func ExampleProtocol_ForwardingTable() {
 	if err != nil {
 		panic(err)
 	}
-	p, err := spef.Optimize(n, d, spef.Config{Beta: 1, MaxIterations: 20000})
+	p, err := spef.Optimize(context.Background(), n, d,
+		spef.WithBeta(1), spef.WithMaxIterations(20000))
 	if err != nil {
 		panic(err)
 	}
@@ -77,4 +84,35 @@ func ExampleProtocol_ForwardingTable() {
 	// Output:
 	// next hop n3 ratio 0.67
 	// next hop n2 ratio 0.33
+}
+
+// ExampleGrid shows the Scenario engine: a grid of routers on the
+// Fig. 1 network expands into cells that run concurrently, with
+// deterministic, order-independent results.
+func ExampleGrid() {
+	n, d, err := spef.Fig1Example()
+	if err != nil {
+		panic(err)
+	}
+	grid := spef.Grid{
+		Topologies: []spef.Topology{{Name: "fig1", Network: n, Demands: d}},
+		Routers: []spef.Router{
+			spef.OSPF(nil),
+			spef.SPEF(spef.WithMaxIterations(20000)),
+		},
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		panic(err)
+	}
+	results, err := spef.RunScenarios(context.Background(), cells, spef.RunOptions{Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: MLU %.2f\n", r.Scenario, r.MLU)
+	}
+	// Output:
+	// fig1/InvCap-OSPF: MLU 1.00
+	// fig1/SPEF: MLU 0.90
 }

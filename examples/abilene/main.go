@@ -1,68 +1,74 @@
 // Abilene case study: sweep the network load on the Abilene backbone
-// and compare InvCap OSPF against SPEF — the experiment behind the
-// paper's Figs. 9 and 10(a).
+// and compare InvCap OSPF, SPEF and the optimal-TE reference — the
+// experiment behind the paper's Figs. 9 and 10(a) — using the Scenario
+// engine: the grid of load x router expands into independent cells that
+// execute concurrently over a bounded worker pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	spef "repro"
 )
 
 func main() {
+	ctx := context.Background()
 	n := spef.Abilene()
 	base, err := spef.FortzThorupDemands(1001, n)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("load    OSPF-MLU  SPEF-MLU  OSPF-utility  SPEF-utility")
-	for _, load := range []float64{0.12, 0.14, 0.16, 0.18} {
-		d, err := base.ScaledToLoad(n, load)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ospf, err := spef.EvaluateOSPF(n, d, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := spef.Optimize(n, d, spef.Config{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		report, err := p.Evaluate(d)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%.2f    %.4f    %.4f    %8.3f      %8.3f\n",
-			load, ospf.MLU, report.MLU, ospf.Utility, report.Utility)
+	// The grid: one topology, four loads, three routers -> 12 cells.
+	grid := spef.Grid{
+		Topologies: []spef.Topology{{Name: "Abilene", Network: n, Demands: base}},
+		Loads:      []float64{0.12, 0.14, 0.16, 0.18},
+		Routers: []spef.Router{
+			spef.OSPF(nil),
+			spef.SPEF(),
+			spef.Optimal(),
+		},
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := spef.RunScenarios(ctx, cells, spef.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := spef.WriteResultsTable(os.Stdout, results); err != nil {
+		log.Fatal(err)
 	}
 
-	// Sorted link utilizations at the highest load (Fig. 9 style).
+	// Sorted link utilizations at the highest load (Fig. 9 style),
+	// through the uniform Router interface.
 	d, err := base.ScaledToLoad(n, 0.17)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ospf, err := spef.EvaluateOSPF(n, d, nil)
-	if err != nil {
-		log.Fatal(err)
+	util := map[string][]float64{}
+	var order []string
+	for _, r := range []spef.Router{spef.OSPF(nil), spef.SPEF()} {
+		routes, err := r.Routes(ctx, n, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := routes.Evaluate(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		util[r.Name()] = sortedDesc(report.LinkUtilization)
+		order = append(order, r.Name())
 	}
-	p, err := spef.Optimize(n, d, spef.Config{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	report, err := p.Evaluate(d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	o := sortedDesc(ospf.LinkUtilization)
-	s := sortedDesc(report.LinkUtilization)
 	fmt.Println("\nsorted link utilizations at load 0.17 (top 10):")
-	fmt.Println("rank  OSPF    SPEF")
+	fmt.Printf("rank  %-12s %s\n", order[0], order[1])
 	for i := 0; i < 10; i++ {
-		fmt.Printf("%-4d  %.3f   %.3f\n", i+1, o[i], s[i])
+		fmt.Printf("%-4d  %-12.3f %.3f\n", i+1, util[order[0]][i], util[order[1]][i])
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n, d, err := spef.Fig1Example()
 	if err != nil {
 		log.Fatal(err)
@@ -21,11 +23,10 @@ func main() {
 	fmt.Println()
 	fmt.Println("beta   u(1,3)  u(3,4)  u(1,2)  u(2,3)   MLU     first weights")
 	for _, beta := range []float64{0, 0.5, 1, 2, 5} {
-		p, err := spef.Optimize(n, d, spef.Config{
-			Beta:          beta,
-			BetaSet:       true,
-			MaxIterations: 12000,
-		})
+		p, err := spef.Optimize(ctx, n, d,
+			spef.WithBeta(beta),
+			spef.WithMaxIterations(12000),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

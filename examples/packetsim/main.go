@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,11 +12,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n, d, err := spef.SimpleExample()
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := spef.Optimize(n, d, spef.Config{})
+	p, err := spef.Optimize(ctx, n, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,12 +26,18 @@ func main() {
 		DurationSeconds:     200,
 		Seed:                42,
 	}
-	spefSim, err := p.Simulate(d, cfg)
+	spefSim, err := p.Routes().Simulate(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// PEFT through the uniform Router interface, forwarding with SPEF's
+	// optimized first weights (the paper's comparison).
+	peftRoutes, err := spef.PEFT(p.FirstWeights()).Routes(ctx, n, d)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg.Seed = 43
-	peftSim, err := spef.SimulatePEFT(n, d, p.FirstWeights(), cfg)
+	peftSim, err := peftRoutes.Simulate(d, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,8 @@ func main() {
 
 	// Optimize with the default objective (beta = 1, proportional load
 	// balance).
-	p, err := spef.Optimize(n, d, spef.Config{})
+	ctx := context.Background()
+	p, err := spef.Optimize(ctx, n, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,12 @@ func main() {
 	}
 	fmt.Printf("SPEF: MLU %.3f, utility %.3f\n", report.MLU, report.Utility)
 
-	ospf, err := spef.EvaluateOSPF(n, d, nil)
+	// The same comparison through the uniform Router interface.
+	ospfRoutes, err := spef.OSPF(nil).Routes(ctx, n, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ospf, err := ospfRoutes.Evaluate(d)
 	if err != nil {
 		log.Fatal(err)
 	}

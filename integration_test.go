@@ -55,7 +55,7 @@ func TestRandomInstancesEndToEnd(t *testing.T) {
 		seed := seed
 		t.Run("", func(t *testing.T) {
 			n, d := randomInstance(t, seed)
-			p, err := Optimize(n, d, Config{MaxIterations: 1200})
+			p, err := Optimize(t.Context(), n, d, WithMaxIterations(1200))
 			if err != nil {
 				t.Fatalf("seed %d: Optimize: %v", seed, err)
 			}
@@ -70,19 +70,28 @@ func TestRandomInstancesEndToEnd(t *testing.T) {
 			}
 			// Invariant 2: SPEF's utility is at least OSPF's (it is the
 			// optimum; allow small NEM slack).
-			ospf, err := EvaluateOSPF(n, d, nil)
+			ospfRoutes, err := OSPF(nil).Routes(t.Context(), n, d)
 			if err != nil {
-				t.Fatalf("seed %d: EvaluateOSPF: %v", seed, err)
+				t.Fatalf("seed %d: OSPF Routes: %v", seed, err)
+			}
+			ospf, err := ospfRoutes.Evaluate(d)
+			if err != nil {
+				t.Fatalf("seed %d: OSPF Evaluate: %v", seed, err)
 			}
 			if !math.IsInf(ospf.Utility, -1) && report.Utility < ospf.Utility-0.05*math.Abs(ospf.Utility)-0.05 {
 				t.Errorf("seed %d: SPEF utility %v < OSPF %v", seed, report.Utility, ospf.Utility)
 			}
 			// Invariant 3: utility is within slack of the optimal-TE
 			// reference.
-			opt, err := OptimalUtility(n, d)
+			optRoutes, err := Optimal().Routes(t.Context(), n, d)
 			if err != nil {
-				t.Fatalf("seed %d: OptimalUtility: %v", seed, err)
+				t.Fatalf("seed %d: Optimal Routes: %v", seed, err)
 			}
+			optReport, err := optRoutes.Evaluate(d)
+			if err != nil {
+				t.Fatalf("seed %d: Optimal Evaluate: %v", seed, err)
+			}
+			opt := optReport.Utility
 			if report.Utility < opt-0.1*math.Abs(opt)-0.1 {
 				t.Errorf("seed %d: SPEF utility %v far below optimum %v", seed, report.Utility, opt)
 			}
@@ -117,7 +126,7 @@ func TestRandomInstancesEndToEnd(t *testing.T) {
 func TestRandomInstancesPEFTAndWeights(t *testing.T) {
 	for seed := int64(20); seed <= 26; seed++ {
 		n, d := randomInstance(t, seed)
-		p, err := Optimize(n, d, Config{MaxIterations: 1000})
+		p, err := Optimize(t.Context(), n, d, WithMaxIterations(1000))
 		if err != nil {
 			t.Fatalf("seed %d: Optimize: %v", seed, err)
 		}
@@ -129,9 +138,13 @@ func TestRandomInstancesPEFTAndWeights(t *testing.T) {
 		}
 		// PEFT with the same weights must route everything (conservation
 		// is internal; here: a finite, positive report).
-		peft, err := EvaluatePEFT(n, d, w)
+		peftRoutes, err := PEFT(w).Routes(t.Context(), n, d)
 		if err != nil {
-			t.Fatalf("seed %d: EvaluatePEFT: %v", seed, err)
+			t.Fatalf("seed %d: PEFT Routes: %v", seed, err)
+		}
+		peft, err := peftRoutes.Evaluate(d)
+		if err != nil {
+			t.Fatalf("seed %d: PEFT Evaluate: %v", seed, err)
 		}
 		if peft.MLU <= 0 {
 			t.Errorf("seed %d: PEFT carried no traffic", seed)
@@ -154,7 +167,7 @@ func TestRandomInstancesPEFTAndWeights(t *testing.T) {
 
 func TestSimulationAgreesWithAnalyticOnRandomNet(t *testing.T) {
 	n, d := randomInstance(t, 31)
-	p, err := Optimize(n, d, Config{MaxIterations: 1000})
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(1000))
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}

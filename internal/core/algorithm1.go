@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,6 +62,10 @@ type FirstWeightOptions struct {
 	// essential for large beta, where the dual scale q/s^beta grows so
 	// fast that raw subgradient iterates cannot reach it.
 	NoRefine bool
+	// Progress, when non-nil, is invoked once per subgradient iteration
+	// with the current and maximum iteration counts. It runs on the
+	// optimizing goroutine; long callbacks slow the solve.
+	Progress func(iter, maxIters int)
 }
 
 // FirstWeightResult is the output of Algorithm 1.
@@ -105,8 +110,9 @@ const wFloor = 1e-9
 // capacity subproblem, each destination routes its demand on current
 // shortest paths (the Route_t minimum-cost flow, Eq. 15), and weights
 // take a projected subgradient step (Eq. 16). Primal solutions are
-// recovered by tail averaging (second half of the run).
-func FirstWeights(g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts FirstWeightOptions) (*FirstWeightResult, error) {
+// recovered by tail averaging (second half of the run). Cancelling ctx
+// aborts the loop (and the refinement stage) with the context's error.
+func FirstWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts FirstWeightOptions) (*FirstWeightResult, error) {
 	if obj.Links() != g.NumLinks() {
 		return nil, fmt.Errorf("%w: objective covers %d links, graph has %d", ErrBadInput, obj.Links(), g.NumLinks())
 	}
@@ -159,7 +165,13 @@ func FirstWeights(g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts
 	iters := 0
 	scratch := mcf.NewFlow(g, dests) // reused across iterations
 	for k := 0; k < opts.MaxIters; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: algorithm 1 canceled at iteration %d: %w", k, err)
+		}
 		iters = k + 1
+		if opts.Progress != nil {
+			opts.Progress(iters, opts.MaxIters)
+		}
 		// Per-link subproblem: s_ij = argmax V(s) - w s over [0, c].
 		for _, l := range links {
 			s[l.ID] = obj.LinkSpare(l.ID, w[l.ID], l.Cap)
@@ -251,7 +263,7 @@ func FirstWeights(g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts
 			}
 			res.Flow = lpFlow
 		} else {
-			fw, err := mcf.FrankWolfeContinuation(g, tm, obj, mcf.FWOptions{
+			fw, err := mcf.FrankWolfeContinuation(ctx, g, tm, obj, mcf.FWOptions{
 				MaxIters: 2000,
 				RelGap:   1e-9,
 				Init:     flowSum,

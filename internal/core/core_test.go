@@ -25,7 +25,7 @@ func fig1Setup(t *testing.T) (*graph.Graph, *traffic.Matrix) {
 func TestFirstWeightsFig1Beta1(t *testing.T) {
 	g, tm := fig1Setup(t)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 30000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 30000})
 	if err != nil {
 		t.Fatalf("FirstWeights: %v", err)
 	}
@@ -64,11 +64,11 @@ func TestFirstWeightsMatchesFrankWolfe(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 20000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 20000})
 	if err != nil {
 		t.Fatalf("FirstWeights: %v", err)
 	}
-	fw, err := mcf.FrankWolfe(g, tm, obj, mcf.FWOptions{MaxIters: 10000, RelGap: 1e-9})
+	fw, err := mcf.FrankWolfe(t.Context(), g, tm, obj, mcf.FWOptions{MaxIters: 10000, RelGap: 1e-9})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}
@@ -85,16 +85,16 @@ func TestFirstWeightsMatchesFrankWolfe(t *testing.T) {
 func TestFirstWeightsBadInput(t *testing.T) {
 	g, tm := fig1Setup(t)
 	objShort := objective.MustQBeta(1, 2, nil)
-	if _, err := FirstWeights(g, tm, objShort, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
+	if _, err := FirstWeights(t.Context(), g, tm, objShort, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("short objective: err = %v, want ErrBadInput", err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
 	empty := traffic.NewMatrix(g.NumNodes())
-	if _, err := FirstWeights(g, empty, obj, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
+	if _, err := FirstWeights(t.Context(), g, empty, obj, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("empty matrix: err = %v, want ErrBadInput", err)
 	}
 	small := traffic.NewMatrix(2)
-	if _, err := FirstWeights(g, small, obj, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
+	if _, err := FirstWeights(t.Context(), g, small, obj, FirstWeightOptions{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("size mismatch: err = %v, want ErrBadInput", err)
 	}
 }
@@ -102,7 +102,7 @@ func TestFirstWeightsBadInput(t *testing.T) {
 func TestFirstWeightsDualTrace(t *testing.T) {
 	g, tm := fig1Setup(t)
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 2000, TraceEvery: 100, Mode: StepConstant})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 2000, TraceEvery: 100, Mode: StepConstant})
 	if err != nil {
 		t.Fatalf("FirstWeights: %v", err)
 	}
@@ -126,7 +126,7 @@ func buildFig1SPEF(t *testing.T, beta float64) (*Protocol, *graph.Graph, *traffi
 	t.Helper()
 	g, tm := fig1Setup(t)
 	obj := objective.MustQBeta(beta, g.NumLinks(), nil)
-	p, err := Build(g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 30000}})
+	p, err := Build(t.Context(), g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 30000}})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -211,7 +211,7 @@ func TestSplitRatiosMatchPathEnumeration(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	p, err := Build(g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 8000}})
+	p, err := Build(t.Context(), g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 8000}})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -261,14 +261,14 @@ func TestSecondWeightsRespectBudget(t *testing.T) {
 func TestSecondWeightsErrors(t *testing.T) {
 	g, tm := fig1Setup(t)
 	dags := map[int]*graph.DAG{}
-	if _, err := SecondWeights(g, tm, dags, []float64{1}, SecondWeightOptions{}); !errors.Is(err, ErrBadInput) {
+	if _, err := SecondWeights(t.Context(), g, tm, dags, []float64{1}, SecondWeightOptions{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("short budget: err = %v, want ErrBadInput", err)
 	}
-	if _, err := SecondWeights(g, tm, dags, make([]float64, 4), SecondWeightOptions{}); !errors.Is(err, ErrBadInput) {
+	if _, err := SecondWeights(t.Context(), g, tm, dags, make([]float64, 4), SecondWeightOptions{}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("zero budget: err = %v, want ErrBadInput", err)
 	}
 	budget := []float64{1, 1, 1, 1}
-	if _, err := SecondWeights(g, tm, dags, budget, SecondWeightOptions{MaxIters: 5}); !errors.Is(err, ErrBadInput) {
+	if _, err := SecondWeights(t.Context(), g, tm, dags, budget, SecondWeightOptions{MaxIters: 5}); !errors.Is(err, ErrBadInput) {
 		t.Errorf("missing DAG: err = %v, want ErrBadInput", err)
 	}
 }
@@ -353,7 +353,7 @@ func TestBuildWithIntegerWeights(t *testing.T) {
 	if err != nil {
 		t.Fatalf("IntegerWeights: %v", err)
 	}
-	ip, err := BuildWithWeights(g, tm, iw, p.First.Flow, 1.0, SecondWeightOptions{})
+	ip, err := BuildWithWeights(t.Context(), g, tm, iw, p.First.Flow, 1.0, SecondWeightOptions{})
 	if err != nil {
 		t.Fatalf("BuildWithWeights: %v", err)
 	}
@@ -381,7 +381,7 @@ func TestBetaZeroAndLargeBetaBehaviour(t *testing.T) {
 	direct, _ := g.FindLink(0, 2)
 
 	obj0 := objective.MustQBeta(0, g.NumLinks(), nil)
-	r0, err := FirstWeights(g, tm, obj0, FirstWeightOptions{MaxIters: 20000})
+	r0, err := FirstWeights(t.Context(), g, tm, obj0, FirstWeightOptions{MaxIters: 20000})
 	if err != nil {
 		t.Fatalf("beta=0: %v", err)
 	}
@@ -390,7 +390,7 @@ func TestBetaZeroAndLargeBetaBehaviour(t *testing.T) {
 	}
 
 	obj5 := objective.MustQBeta(5, g.NumLinks(), nil)
-	r5, err := FirstWeights(g, tm, obj5, FirstWeightOptions{MaxIters: 30000})
+	r5, err := FirstWeights(t.Context(), g, tm, obj5, FirstWeightOptions{MaxIters: 30000})
 	if err != nil {
 		t.Fatalf("beta=5: %v", err)
 	}

@@ -24,7 +24,7 @@ func TestExampleC2ProportionalLoadBalance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 20000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 20000})
 	if err != nil {
 		t.Fatalf("FirstWeights: %v", err)
 	}
@@ -66,7 +66,7 @@ func TestExampleD0MinDelayRouting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 10000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 10000})
 	if err != nil {
 		t.Fatalf("FirstWeights: %v", err)
 	}
@@ -95,7 +95,7 @@ func TestTheorem34ChargeEquilibrium(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 10000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,11 +129,11 @@ func TestNonUniformQFrankWolfeAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := FirstWeights(g, tm, obj, FirstWeightOptions{MaxIters: 8000})
+	r, err := FirstWeights(t.Context(), g, tm, obj, FirstWeightOptions{MaxIters: 8000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, err := mcf.FrankWolfe(g, tm, obj, mcf.FWOptions{MaxIters: 8000, RelGap: 1e-10})
+	fw, err := mcf.FrankWolfe(t.Context(), g, tm, obj, mcf.FWOptions{MaxIters: 8000, RelGap: 1e-10})
 	if err != nil {
 		t.Fatal(err)
 	}

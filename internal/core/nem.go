@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -23,6 +24,9 @@ type SecondWeightOptions struct {
 	// TraceEvery records the NEM dual objective every k iterations
 	// (Fig. 12b); 0 disables tracing.
 	TraceEvery int
+	// Progress, when non-nil, is invoked once per gradient iteration
+	// with the current and maximum iteration counts.
+	Progress func(iter, maxIters int)
 }
 
 // SecondWeightResult is the output of Algorithm 2.
@@ -79,7 +83,8 @@ func TrafficDistribution(g *graph.Graph, dags map[int]*graph.DAG, tm *traffic.Ma
 // NEM problem (paper Eq. 17/19/21). budget is the per-link optimal flow
 // f*_ij from Algorithm 1; the returned weights make the exponential
 // split reproduce a distribution within Eps of the budget on every link.
-func SecondWeights(g *graph.Graph, tm *traffic.Matrix, dags map[int]*graph.DAG, budget []float64, opts SecondWeightOptions) (*SecondWeightResult, error) {
+// Cancelling ctx aborts the iteration with the context's error.
+func SecondWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, dags map[int]*graph.DAG, budget []float64, opts SecondWeightOptions) (*SecondWeightResult, error) {
 	if len(budget) != g.NumLinks() {
 		return nil, fmt.Errorf("%w: got %d budget entries for %d links", ErrBadInput, len(budget), g.NumLinks())
 	}
@@ -114,7 +119,13 @@ func SecondWeights(g *graph.Graph, tm *traffic.Matrix, dags map[int]*graph.DAG, 
 	)
 	iters := 0
 	for k := 0; k < opts.MaxIters; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: algorithm 2 canceled at iteration %d: %w", k, err)
+		}
 		iters = k + 1
+		if opts.Progress != nil {
+			opts.Progress(iters, opts.MaxIters)
+		}
 		flow, err = TrafficDistribution(g, dags, tm, v)
 		if err != nil {
 			return nil, err

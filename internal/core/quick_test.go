@@ -45,7 +45,7 @@ func TestSPEFPipelinePropertiesQuick(t *testing.T) {
 			return fmt.Errorf("scale: %w", err)
 		}
 		obj := objective.MustQBeta(1, g.NumLinks(), nil)
-		p, err := Build(g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 600}})
+		p, err := Build(t.Context(), g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 600}})
 		if err != nil {
 			return fmt.Errorf("Build: %w", err)
 		}

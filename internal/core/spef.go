@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,12 +49,14 @@ type Protocol struct {
 // Build runs the complete SPEF pipeline (paper Algorithm 4) for the given
 // network, traffic matrix, and (q,beta) objective:
 // Algorithm 1 -> per-destination Dijkstra DAGs -> Algorithm 2.
-func Build(g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts Options) (*Protocol, error) {
-	first, err := FirstWeights(g, tm, obj, opts.First)
+// Cancelling ctx aborts whichever stage is running with the context's
+// error.
+func Build(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts Options) (*Protocol, error) {
+	first, err := FirstWeights(ctx, g, tm, obj, opts.First)
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 1: %w", err)
 	}
-	p, err := BuildWithWeights(g, tm, first.W, first.Flow, opts.DijkstraTol, opts.Second)
+	p, err := BuildWithWeights(ctx, g, tm, first.W, first.Flow, opts.DijkstraTol, opts.Second)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +74,7 @@ func Build(g *graph.Graph, tm *traffic.Matrix, obj *objective.QBeta, opts Option
 // shortest paths at the exact optimum, so the widening only absorbs
 // numerical slack (and rounding error for the integer-weight study of
 // Fig. 13, which enters here).
-func BuildWithWeights(g *graph.Graph, tm *traffic.Matrix, w []float64, flow *mcf.Flow, tol float64, sopts SecondWeightOptions) (*Protocol, error) {
+func BuildWithWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, w []float64, flow *mcf.Flow, tol float64, sopts SecondWeightOptions) (*Protocol, error) {
 	if len(w) != g.NumLinks() {
 		return nil, fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(w), g.NumLinks())
 	}
@@ -123,7 +126,7 @@ func BuildWithWeights(g *graph.Graph, tm *traffic.Matrix, w []float64, flow *mcf
 		}
 		dags[t] = d
 	}
-	second, err := SecondWeights(g, tm, dags, budget, sopts)
+	second, err := SecondWeights(ctx, g, tm, dags, budget, sopts)
 	if err != nil {
 		return nil, fmt.Errorf("core: algorithm 2: %w", err)
 	}

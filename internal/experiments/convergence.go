@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ type Fig12Result struct {
 
 // RunFig12 regenerates Fig. 12. Step ratios follow the paper's legends:
 // 2, 1, 0.5, 0.1 for Algorithm 1 and 2, 1, 0.5, 0.25 for Algorithm 2.
-func RunFig12(opts Options) (*Fig12Result, error) {
+func RunFig12(ctx context.Context, opts Options) (*Fig12Result, error) {
 	g, err := table3Net("Cernet2")
 	if err != nil {
 		return nil, err
@@ -48,7 +49,7 @@ func RunFig12(opts Options) (*Fig12Result, error) {
 
 	res := &Fig12Result{}
 	for _, ratio := range []float64{2, 1, 0.5, 0.1} {
-		r, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{
+		r, err := core.FirstWeights(ctx, g, tm, obj, core.FirstWeightOptions{
 			MaxIters:   iters1,
 			Mode:       core.StepConstant,
 			StepRatio:  ratio,
@@ -68,7 +69,7 @@ func RunFig12(opts Options) (*Fig12Result, error) {
 
 	// Algorithm 2 convergence: fix the first-weight stage (ratio 1), then
 	// sweep the NEM step ratio.
-	first, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{MaxIters: iters1})
+	first, err := core.FirstWeights(ctx, g, tm, obj, core.FirstWeightOptions{MaxIters: iters1})
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +88,7 @@ func RunFig12(opts Options) (*Fig12Result, error) {
 		dags[t] = d
 	}
 	for _, ratio := range []float64{2, 1, 0.5, 0.25} {
-		r, err := core.SecondWeights(g, tm, dags, first.Budget, core.SecondWeightOptions{
+		r, err := core.SecondWeights(ctx, g, tm, dags, first.Budget, core.SecondWeightOptions{
 			MaxIters:   iters2,
 			StepRatio:  ratio,
 			TraceEvery: trace2,

@@ -1,13 +1,18 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (Section V). Each Run* function produces a structured result
+// evaluation (Section V). Each Run* function takes a context (cancelling
+// it aborts any optimization in flight) and produces a structured result
 // with a Format method that prints the same rows/series the paper
-// reports; cmd/spef and the top-level benchmarks drive them.
+// reports; cmd/spef and the top-level benchmarks drive them. Sweeps over
+// independent cells (Fig. 10's load grid, the failure study) execute
+// concurrently over Options.Workers workers with order-independent
+// results.
 //
 // The per-experiment index lives in DESIGN.md; paper-vs-measured numbers
 // are recorded in EXPERIMENTS.md.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +30,9 @@ type Options struct {
 	// Quick trades accuracy for speed (used by tests); default is the
 	// full-fidelity run used for EXPERIMENTS.md.
 	Quick bool
+	// Workers bounds concurrent cells in sweeping experiments
+	// (<= 0 selects GOMAXPROCS).
+	Workers int
 }
 
 // iters returns (algorithm 1, algorithm 2) iteration budgets for a
@@ -132,13 +140,13 @@ func networkTM(id string, g *graph.Graph) (*traffic.Matrix, error) {
 
 // buildSPEF runs the full SPEF pipeline with the experiment's iteration
 // budget and beta=1 (the evaluation's utility objective, Section V-B).
-func buildSPEF(g *graph.Graph, tm *traffic.Matrix, beta float64, opts Options) (*core.Protocol, error) {
+func buildSPEF(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, beta float64, opts Options) (*core.Protocol, error) {
 	it1, it2 := opts.iters(g.NumNodes())
 	obj, err := objective.NewQBeta(beta, g.NumLinks(), nil)
 	if err != nil {
 		return nil, err
 	}
-	return core.Build(g, tm, obj, core.Options{
+	return core.Build(ctx, g, tm, obj, core.Options{
 		First:  core.FirstWeightOptions{MaxIters: it1},
 		Second: core.SecondWeightOptions{MaxIters: it2},
 	})

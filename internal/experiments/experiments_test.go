@@ -9,7 +9,7 @@ import (
 var quick = Options{Quick: true}
 
 func TestRunTable1(t *testing.T) {
-	r, err := RunTable1(quick)
+	r, err := RunTable1(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunTable1: %v", err)
 	}
@@ -47,7 +47,7 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunFig2(t *testing.T) {
-	r, err := RunFig2(quick)
+	r, err := RunFig2(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig2: %v", err)
 	}
@@ -75,7 +75,7 @@ func TestRunFig2(t *testing.T) {
 }
 
 func TestRunFig3(t *testing.T) {
-	r, err := RunFig3(quick)
+	r, err := RunFig3(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig3: %v", err)
 	}
@@ -96,7 +96,7 @@ func TestRunFig3(t *testing.T) {
 }
 
 func TestRunFig67(t *testing.T) {
-	r, err := RunFig67(quick)
+	r, err := RunFig67(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig67: %v", err)
 	}
@@ -129,7 +129,7 @@ func TestRunFig67(t *testing.T) {
 }
 
 func TestRunTable3(t *testing.T) {
-	r, err := RunTable3(quick)
+	r, err := RunTable3(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunTable3: %v", err)
 	}
@@ -142,7 +142,7 @@ func TestRunTable3(t *testing.T) {
 }
 
 func TestRunFig9(t *testing.T) {
-	r, err := RunFig9(quick)
+	r, err := RunFig9(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig9: %v", err)
 	}
@@ -168,7 +168,7 @@ func TestRunFig9(t *testing.T) {
 }
 
 func TestRunFig10(t *testing.T) {
-	r, err := RunFig10(quick)
+	r, err := RunFig10(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig10: %v", err)
 	}
@@ -189,7 +189,7 @@ func TestRunFig10(t *testing.T) {
 }
 
 func TestRunTable5(t *testing.T) {
-	r, err := RunTable5(quick)
+	r, err := RunTable5(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunTable5: %v", err)
 	}
@@ -212,7 +212,7 @@ func TestRunTable5(t *testing.T) {
 }
 
 func TestRunFig12(t *testing.T) {
-	r, err := RunFig12(quick)
+	r, err := RunFig12(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig12: %v", err)
 	}
@@ -232,7 +232,7 @@ func TestRunFig12(t *testing.T) {
 }
 
 func TestRunFig13(t *testing.T) {
-	r, err := RunFig13(quick)
+	r, err := RunFig13(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig13: %v", err)
 	}
@@ -256,7 +256,7 @@ func TestRunFig13(t *testing.T) {
 }
 
 func TestRunFig11(t *testing.T) {
-	r, err := RunFig11(quick)
+	r, err := RunFig11(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFig11: %v", err)
 	}

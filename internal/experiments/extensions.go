@@ -13,6 +13,7 @@ package experiments
 //     OSPF.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/mcf"
 	"repro/internal/objective"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -47,7 +49,7 @@ type ControlRow struct {
 }
 
 // RunControl measures flooding cost on every Table III network.
-func RunControl(Options) (*ControlResult, error) {
+func RunControl(_ context.Context, _ Options) (*ControlResult, error) {
 	nets, err := topo.Table3Networks()
 	if err != nil {
 		return nil, err
@@ -109,8 +111,10 @@ type FailureRow struct {
 // RunFailure evaluates every single duplex-pair failure on Abilene at
 // load 0.14: OSPF (InvCap reconverges on the surviving topology), SPEF
 // with stale weights (Dijkstra re-run, weights kept), and SPEF fully
-// re-optimized.
-func RunFailure(opts Options) (*FailureResult, error) {
+// re-optimized. Failures are independent, so the sweep runs
+// concurrently over Options.Workers workers; rows come back in failure
+// order regardless of worker count.
+func RunFailure(ctx context.Context, opts Options) (*FailureResult, error) {
 	g, err := table3Net("Abilene")
 	if err != nil {
 		return nil, err
@@ -124,68 +128,85 @@ func RunFailure(opts Options) (*FailureResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := buildSPEF(g, tm, 1, opts)
+	p, err := buildSPEF(ctx, g, tm, 1, opts)
 	if err != nil {
 		return nil, err
 	}
 	res := &FailureResult{Load: load}
-	pairs := duplexPairs(g)
+	pairs := g.DuplexPairs()
 	if opts.Quick && len(pairs) > 3 {
 		pairs = pairs[:3]
 	}
-	for _, pair := range pairs {
-		g2, keep, err := removeLinks(g, pair[:])
-		if err != nil {
-			return nil, err
-		}
-		if ok, err := allReachable(g2, tm); err != nil || !ok {
+	type outcome struct {
+		row  FailureRow
+		skip bool
+		err  error
+	}
+	outcomes := scenario.Run(ctx, len(pairs), opts.Workers,
+		func(ctx context.Context, i int) outcome {
+			pair := pairs[i]
+			g2, keep, err := g.WithoutLinks(pair[:]...)
 			if err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
-			continue // failure disconnects a demand: skip like the paper's protocol would
-		}
-		l := g.Link(pair[0])
-		row := FailureRow{FailedLink: fmt.Sprintf("%s-%s", g.Name(l.From), g.Name(l.To))}
+			if ok, err := allReachable(g2, tm); err != nil || !ok {
+				// Failure disconnects a demand: skip like the paper's
+				// protocol would.
+				return outcome{skip: true, err: err}
+			}
+			l := g.Link(pair[0])
+			row := FailureRow{FailedLink: fmt.Sprintf("%s-%s", g.Name(l.From), g.Name(l.To))}
 
-		// OSPF reconverges with InvCap weights on the survivors.
-		ospf, err := routing.BuildOSPF(g2, tm.Destinations(), nil, 0)
-		if err != nil {
-			return nil, err
-		}
-		oFlow, err := ospf.Flow(tm)
-		if err != nil {
-			return nil, err
-		}
-		row.OSPFMLU = objective.MLU(g2, oFlow.Total)
-		row.OSPFUtility = objective.LogSpareUtility(g2, oFlow.Total)
-
-		// SPEF with stale weights: every router re-runs Dijkstra over the
-		// surviving links with the configured (old) weights; splits
-		// renormalize over the surviving DAG.
-		w2 := remap(p.W, keep)
-		v2 := remap(p.V, keep)
-		sFlow, err := staleSPEFFlow(g2, tm, w2, v2)
-		if err != nil {
-			return nil, err
-		}
-		row.StaleMLU = objective.MLU(g2, sFlow.Total)
-		row.StaleUtility = objective.LogSpareUtility(g2, sFlow.Total)
-
-		// Full re-optimization on the surviving topology.
-		p2, err := buildSPEF(g2, tm, 1, opts)
-		switch {
-		case err == nil:
-			rFlow, err := p2.Flow(tm)
+			// OSPF reconverges with InvCap weights on the survivors.
+			ospf, err := routing.BuildOSPF(g2, tm.Destinations(), nil, 0)
 			if err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
-			row.ReoptMLU = objective.MLU(g2, rFlow.Total)
-			row.ReoptUtility = objective.LogSpareUtility(g2, rFlow.Total)
-		default:
-			row.ReoptMLU = math.NaN()
-			row.ReoptUtility = math.Inf(-1)
+			oFlow, err := ospf.Flow(tm)
+			if err != nil {
+				return outcome{err: err}
+			}
+			row.OSPFMLU = objective.MLU(g2, oFlow.Total)
+			row.OSPFUtility = objective.LogSpareUtility(g2, oFlow.Total)
+
+			// SPEF with stale weights: every router re-runs Dijkstra over
+			// the surviving links with the configured (old) weights;
+			// splits renormalize over the surviving DAG.
+			w2 := remap(p.W, keep)
+			v2 := remap(p.V, keep)
+			sFlow, err := staleSPEFFlow(g2, tm, w2, v2)
+			if err != nil {
+				return outcome{err: err}
+			}
+			row.StaleMLU = objective.MLU(g2, sFlow.Total)
+			row.StaleUtility = objective.LogSpareUtility(g2, sFlow.Total)
+
+			// Full re-optimization on the surviving topology.
+			p2, err := buildSPEF(ctx, g2, tm, 1, opts)
+			switch {
+			case err == nil:
+				rFlow, err := p2.Flow(tm)
+				if err != nil {
+					return outcome{err: err}
+				}
+				row.ReoptMLU = objective.MLU(g2, rFlow.Total)
+				row.ReoptUtility = objective.LogSpareUtility(g2, rFlow.Total)
+			default:
+				row.ReoptMLU = math.NaN()
+				row.ReoptUtility = math.Inf(-1)
+			}
+			return outcome{row: row}
+		},
+		func(int) outcome { return outcome{err: ctx.Err()} },
+		nil)
+	for _, o := range outcomes {
+		if o.err != nil {
+			return nil, o.err
 		}
-		res.Rows = append(res.Rows, row)
+		if o.skip {
+			continue
+		}
+		res.Rows = append(res.Rows, o.row)
 	}
 	return res, nil
 }
@@ -201,45 +222,6 @@ func (r *FailureResult) Format(w io.Writer) {
 			fmtVal(row.OSPFUtility), fmtVal(row.StaleUtility), fmtVal(row.ReoptUtility))
 	}
 	tw.Flush()
-}
-
-// duplexPairs lists [fwd, rev] link-ID pairs.
-func duplexPairs(g *graph.Graph) [][2]int {
-	var out [][2]int
-	seen := make(map[int]bool)
-	for _, l := range g.Links() {
-		if seen[l.ID] {
-			continue
-		}
-		if rev, ok := g.FindLink(l.To, l.From); ok && !seen[rev] {
-			out = append(out, [2]int{l.ID, rev})
-			seen[l.ID], seen[rev] = true, true
-		}
-	}
-	return out
-}
-
-// removeLinks clones g without the given links; keep[newID] = oldID.
-func removeLinks(g *graph.Graph, drop []int) (*graph.Graph, []int, error) {
-	dropSet := make(map[int]bool, len(drop))
-	for _, id := range drop {
-		dropSet[id] = true
-	}
-	g2 := graph.New(g.NumNodes())
-	for i := 0; i < g.NumNodes(); i++ {
-		g2.SetName(i, g.Name(i))
-	}
-	var keep []int
-	for _, l := range g.Links() {
-		if dropSet[l.ID] {
-			continue
-		}
-		if _, err := g2.AddLink(l.From, l.To, l.Cap); err != nil {
-			return nil, nil, err
-		}
-		keep = append(keep, l.ID)
-	}
-	return g2, keep, nil
 }
 
 // remap projects an old per-link vector onto the surviving links.

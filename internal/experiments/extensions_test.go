@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunControl(t *testing.T) {
-	r, err := RunControl(quick)
+	r, err := RunControl(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunControl: %v", err)
 	}
@@ -35,7 +35,7 @@ func TestRunControl(t *testing.T) {
 }
 
 func TestRunFailure(t *testing.T) {
-	r, err := RunFailure(quick)
+	r, err := RunFailure(t.Context(), quick)
 	if err != nil {
 		t.Fatalf("RunFailure: %v", err)
 	}
@@ -63,42 +63,42 @@ func TestRunFailure(t *testing.T) {
 func TestFormatsDoNotPanic(t *testing.T) {
 	// Exercise the remaining Format implementations on cheap results.
 	var sb strings.Builder
-	if r, err := RunFig2(quick); err == nil {
+	if r, err := RunFig2(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig2: %v", err)
 	}
-	if r, err := RunFig3(quick); err == nil {
+	if r, err := RunFig3(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig3: %v", err)
 	}
-	if r, err := RunTable3(quick); err == nil {
+	if r, err := RunTable3(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunTable3: %v", err)
 	}
-	if r, err := RunFig9(quick); err == nil {
+	if r, err := RunFig9(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig9: %v", err)
 	}
-	if r, err := RunFig10(quick); err == nil {
+	if r, err := RunFig10(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig10: %v", err)
 	}
-	if r, err := RunTable5(quick); err == nil {
+	if r, err := RunTable5(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunTable5: %v", err)
 	}
-	if r, err := RunFig12(quick); err == nil {
+	if r, err := RunFig12(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig12: %v", err)
 	}
-	if r, err := RunFig13(quick); err == nil {
+	if r, err := RunFig13(t.Context(), quick); err == nil {
 		r.Format(&sb)
 	} else {
 		t.Errorf("RunFig13: %v", err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,7 @@ type Fig2Result struct {
 }
 
 // RunFig2 regenerates Fig. 2.
-func RunFig2(Options) (*Fig2Result, error) {
+func RunFig2(_ context.Context, _ Options) (*Fig2Result, error) {
 	loads := make([]float64, 0, 100)
 	for u := 0.0; u < 0.995; u += 0.01 {
 		loads = append(loads, u)
@@ -61,7 +62,7 @@ type Fig3Result struct {
 }
 
 // RunFig3 regenerates Fig. 3.
-func RunFig3(opts Options) (*Fig3Result, error) {
+func RunFig3(ctx context.Context, opts Options) (*Fig3Result, error) {
 	g := topo.Fig1()
 	tm, err := traffic.FromDemands(g.NumNodes(), topo.Fig1Demands())
 	if err != nil {
@@ -86,7 +87,7 @@ func RunFig3(opts Options) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{MaxIters: it1})
+		r, err := core.FirstWeights(ctx, g, tm, obj, core.FirstWeightOptions{MaxIters: it1})
 		if err != nil {
 			return nil, fmt.Errorf("fig3 beta=%g: %w", beta, err)
 		}
@@ -121,7 +122,7 @@ type Fig67Result struct {
 }
 
 // RunFig67 regenerates Figs. 6 and 7.
-func RunFig67(opts Options) (*Fig67Result, error) {
+func RunFig67(ctx context.Context, opts Options) (*Fig67Result, error) {
 	g := topo.Simple()
 	tm, err := traffic.FromDemands(g.NumNodes(), topo.SimpleDemands())
 	if err != nil {
@@ -149,7 +150,7 @@ func RunFig67(opts Options) (*Fig67Result, error) {
 
 	for _, beta := range []float64{0, 1, 5} {
 		name := fmt.Sprintf("SPEF%g", beta)
-		p, err := buildSPEF(g, tm, beta, opts)
+		p, err := buildSPEF(ctx, g, tm, beta, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig67 %s: %w", name, err)
 		}

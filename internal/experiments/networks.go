@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,9 +9,11 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/objective"
 	"repro/internal/routing"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 	"repro/internal/traffic"
 )
@@ -29,7 +32,7 @@ type Table3Row struct {
 }
 
 // RunTable3 regenerates TABLE III.
-func RunTable3(Options) (*Table3Result, error) {
+func RunTable3(_ context.Context, _ Options) (*Table3Result, error) {
 	nets, err := topo.Table3Networks()
 	if err != nil {
 		return nil, err
@@ -65,7 +68,7 @@ type Fig9Result struct {
 }
 
 // RunFig9 regenerates Fig. 9.
-func RunFig9(opts Options) (*Fig9Result, error) {
+func RunFig9(ctx context.Context, opts Options) (*Fig9Result, error) {
 	res := &Fig9Result{Panels: make(map[string][]Series)}
 	panels := []struct {
 		id   string
@@ -95,7 +98,7 @@ func RunFig9(opts Options) (*Fig9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := buildSPEF(g, tm, 1, opts)
+		p, err := buildSPEF(ctx, g, tm, 1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig9 %s: %w", panel.id, err)
 		}
@@ -147,14 +150,31 @@ type Fig10Result struct {
 	Order []string
 }
 
-// RunFig10 regenerates every panel of Fig. 10. With opts.Quick only
-// Abilene and Cernet2 are swept (the tests' fast path).
-func RunFig10(opts Options) (*Fig10Result, error) {
+// RunFig10 regenerates every panel of Fig. 10, sweeping the
+// (network, load) grid concurrently over Options.Workers workers. With
+// opts.Quick only Abilene and Cernet2 are swept (the tests' fast path).
+func RunFig10(ctx context.Context, opts Options) (*Fig10Result, error) {
 	ids := []string{"Abilene", "Cernet2", "Hier50a", "Hier50b", "Rand50a", "Rand50b", "Rand100"}
 	if opts.Quick {
 		ids = ids[:2]
 	}
 	res := &Fig10Result{Panels: make(map[string][]Series), Order: ids}
+
+	// Expand the (network, load) grid up front so every cell runs
+	// independently on the worker pool; results are collected by cell
+	// index, keeping the output identical for any worker count.
+	type cell struct {
+		id   string
+		g    *graph.Graph
+		ospf *routing.OSPF
+		base *traffic.Matrix
+		load float64
+	}
+	type outcome struct {
+		ospfU, spefU float64
+		err          error
+	}
+	var cells []cell
 	for _, id := range ids {
 		g, err := table3Net(id)
 		if err != nil {
@@ -164,43 +184,60 @@ func RunFig10(opts Options) (*Fig10Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		loads := fig10Loads[id]
-		if opts.Quick {
-			loads = loads[:3]
-		}
-		ospfU := Series{Name: "OSPF", X: loads}
-		spefU := Series{Name: "SPEF", X: loads}
 		ospf, err := routing.BuildOSPF(g, base.Destinations(), nil, 0)
 		if err != nil {
 			return nil, err
 		}
+		loads := fig10Loads[id]
+		if opts.Quick {
+			loads = loads[:3]
+		}
+		res.Panels[id] = []Series{{Name: "OSPF", X: loads}, {Name: "SPEF", X: loads}}
 		for _, load := range loads {
-			tm, err := base.ScaledToLoad(g, load)
+			cells = append(cells, cell{id: id, g: g, ospf: ospf, base: base, load: load})
+		}
+	}
+	outcomes := scenario.Run(ctx, len(cells), opts.Workers,
+		func(ctx context.Context, i int) outcome {
+			c := cells[i]
+			tm, err := c.base.ScaledToLoad(c.g, c.load)
 			if err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
-			oFlow, err := ospf.Flow(tm)
+			oFlow, err := c.ospf.Flow(tm)
 			if err != nil {
-				return nil, err
+				return outcome{err: err}
 			}
-			ospfU.Y = append(ospfU.Y, objective.LogSpareUtility(g, oFlow.Total))
-			p, err := buildSPEF(g, tm, 1, opts)
+			out := outcome{ospfU: objective.LogSpareUtility(c.g, oFlow.Total)}
+			p, err := buildSPEF(ctx, c.g, tm, 1, opts)
 			switch {
 			case errors.Is(err, mcf.ErrInfeasible):
 				// The load exceeds what any routing can carry (the paper
 				// stops its sweeps where SPEF's MLU reaches 100%).
-				spefU.Y = append(spefU.Y, math.Inf(-1))
-				continue
+				out.spefU = math.Inf(-1)
+				return out
 			case err != nil:
-				return nil, fmt.Errorf("fig10 %s load %g: %w", id, load, err)
+				out.err = fmt.Errorf("fig10 %s load %g: %w", c.id, c.load, err)
+				return out
 			}
 			sFlow, err := p.Flow(tm)
 			if err != nil {
-				return nil, err
+				out.err = err
+				return out
 			}
-			spefU.Y = append(spefU.Y, objective.LogSpareUtility(g, sFlow.Total))
+			out.spefU = objective.LogSpareUtility(c.g, sFlow.Total)
+			return out
+		},
+		func(int) outcome { return outcome{err: ctx.Err()} },
+		nil)
+	for i, c := range cells {
+		o := outcomes[i]
+		if o.err != nil {
+			return nil, o.err
 		}
-		res.Panels[id] = []Series{ospfU, spefU}
+		panel := res.Panels[c.id]
+		panel[0].Y = append(panel[0].Y, o.ospfU)
+		panel[1].Y = append(panel[1].Y, o.spefU)
 	}
 	return res, nil
 }
@@ -229,7 +266,7 @@ type Table5Row struct {
 }
 
 // RunTable5 regenerates TABLE V.
-func RunTable5(opts Options) (*Table5Result, error) {
+func RunTable5(ctx context.Context, opts Options) (*Table5Result, error) {
 	g, err := table3Net("Cernet2")
 	if err != nil {
 		return nil, err
@@ -307,7 +344,7 @@ func RunTable5(opts Options) (*Table5Result, error) {
 				}
 			}
 		}
-		p, err := buildSPEF(g, mixed, 1, opts)
+		p, err := buildSPEF(ctx, g, mixed, 1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("table5 load %g: %w", load, err)
 		}
@@ -342,7 +379,7 @@ type Fig13Result struct {
 }
 
 // RunFig13 regenerates Fig. 13.
-func RunFig13(opts Options) (*Fig13Result, error) {
+func RunFig13(ctx context.Context, opts Options) (*Fig13Result, error) {
 	res := &Fig13Result{Panels: make(map[string][]Series)}
 	panels := []struct {
 		id    string
@@ -372,7 +409,7 @@ func RunFig13(opts Options) (*Fig13Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			p, err := buildSPEF(g, tm, 1, opts)
+			p, err := buildSPEF(ctx, g, tm, 1, opts)
 			if err != nil {
 				return nil, fmt.Errorf("fig13 %s load %g: %w", panel.id, load, err)
 			}
@@ -388,7 +425,7 @@ func RunFig13(opts Options) (*Fig13Result, error) {
 			}
 			// Integer weights use the paper's Dijkstra tolerance of 1 in
 			// the integer weight space.
-			ip, err := core.BuildWithWeights(g, tm, iw, p.First.Flow, 1.0,
+			ip, err := core.BuildWithWeights(ctx, g, tm, iw, p.First.Flow, 1.0,
 				core.SecondWeightOptions{MaxIters: it2})
 			if err != nil {
 				return nil, err

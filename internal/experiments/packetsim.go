@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -51,7 +52,7 @@ type fig11Case struct {
 // optimized first link weights; they differ in path sets (equal-cost DAG
 // vs all downward links) and split ratios (second weights vs exponential
 // extra-length penalty).
-func RunFig11(opts Options) (*Fig11Result, error) {
+func RunFig11(ctx context.Context, opts Options) (*Fig11Result, error) {
 	simple := topo.Simple()
 	cernet := topo.Cernet2()
 	cases := []fig11Case{
@@ -86,7 +87,7 @@ func RunFig11(opts Options) (*Fig11Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		p, err := buildSPEF(c.g, tm, 1, opts)
+		p, err := buildSPEF(ctx, c.g, tm, 1, opts)
 		if err != nil {
 			return nil, fmt.Errorf("fig11 %s: %w", c.name, err)
 		}

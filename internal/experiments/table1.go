@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -27,7 +28,7 @@ type Table1Result struct {
 }
 
 // RunTable1 regenerates TABLE I.
-func RunTable1(opts Options) (*Table1Result, error) {
+func RunTable1(ctx context.Context, opts Options) (*Table1Result, error) {
 	g := topo.Fig1()
 	tm, err := traffic.FromDemands(g.NumNodes(), topo.Fig1Demands())
 	if err != nil {
@@ -50,7 +51,7 @@ func RunTable1(opts Options) (*Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.FirstWeights(g, tm, obj, core.FirstWeightOptions{MaxIters: it1})
+		r, err := core.FirstWeights(ctx, g, tm, obj, core.FirstWeightOptions{MaxIters: it1})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", name, err)
 		}
@@ -61,7 +62,7 @@ func RunTable1(opts Options) (*Table1Result, error) {
 
 	// Fortz-Thorup piecewise-linear optimum via Frank-Wolfe; the weights
 	// are the marginal costs at the optimum.
-	fw, err := mcf.FrankWolfe(g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 20000, RelGap: 1e-9})
+	fw, err := mcf.FrankWolfe(ctx, g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 20000, RelGap: 1e-9})
 	if err != nil {
 		return nil, fmt.Errorf("table1 Fortz-Thorup: %w", err)
 	}

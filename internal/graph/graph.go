@@ -193,6 +193,56 @@ func (g *Graph) WithCapacities(caps []float64) (*Graph, error) {
 	return c, nil
 }
 
+// DuplexPairs returns the [forward, reverse] link-ID pairs of the
+// graph: links matched with an opposite-direction partner, each link
+// appearing in at most one pair. Unpaired one-way links are omitted.
+func (g *Graph) DuplexPairs() [][2]int {
+	var out [][2]int
+	seen := make(map[int]bool, len(g.links))
+	for _, l := range g.links {
+		if seen[l.ID] {
+			continue
+		}
+		for _, rev := range g.out[l.To] {
+			if g.links[rev].To == l.From && !seen[rev] {
+				out = append(out, [2]int{l.ID, rev})
+				seen[l.ID], seen[rev] = true, true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WithoutLinks returns a copy of the graph with the given links removed
+// (the single-link-failure transform). Surviving links are renumbered
+// densely; keep[newID] = oldID maps the new link IDs back to the
+// original ones so per-link vectors can be projected onto the survivors.
+func (g *Graph) WithoutLinks(drop ...int) (*Graph, []int, error) {
+	dropSet := make(map[int]bool, len(drop))
+	for _, id := range drop {
+		if id < 0 || id >= len(g.links) {
+			return nil, nil, fmt.Errorf("%w: link %d out of range", ErrBadLink, id)
+		}
+		dropSet[id] = true
+	}
+	g2 := New(g.NumNodes())
+	for i, name := range g.names {
+		g2.SetName(i, name)
+	}
+	keep := make([]int, 0, len(g.links)-len(dropSet))
+	for _, l := range g.links {
+		if dropSet[l.ID] {
+			continue
+		}
+		if _, err := g2.AddLink(l.From, l.To, l.Cap); err != nil {
+			return nil, nil, err
+		}
+		keep = append(keep, l.ID)
+	}
+	return g2, keep, nil
+}
+
 // Validate checks structural invariants (index consistency, positive
 // capacities). It returns nil for a well-formed graph.
 func (g *Graph) Validate() error {

@@ -97,7 +97,7 @@ func TestDistributedEqualsCentralized(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 8000}})
+	p, err := core.Build(t.Context(), g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 8000}})
 	if err != nil {
 		t.Fatalf("core.Build: %v", err)
 	}

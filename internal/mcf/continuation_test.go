@@ -37,11 +37,11 @@ func TestContinuationMatchesDirectSolve(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	direct, err := FrankWolfe(g, tm, o, FWOptions{MaxIters: 8000, RelGap: 1e-10})
+	direct, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{MaxIters: 8000, RelGap: 1e-10})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}
-	cont, err := FrankWolfeContinuation(g, tm, o, FWOptions{MaxIters: 8000, RelGap: 1e-10})
+	cont, err := FrankWolfeContinuation(t.Context(), g, tm, o, FWOptions{MaxIters: 8000, RelGap: 1e-10})
 	if err != nil {
 		t.Fatalf("FrankWolfeContinuation: %v", err)
 	}
@@ -62,7 +62,7 @@ func TestContinuationDetectsInfeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	if _, err := FrankWolfeContinuation(g, tm, o, FWOptions{MaxIters: 2000}); !errors.Is(err, ErrInfeasible) {
+	if _, err := FrankWolfeContinuation(t.Context(), g, tm, o, FWOptions{MaxIters: 2000}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -75,7 +75,7 @@ func TestContinuationTightInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FrankWolfeContinuation(g, tm, o, FWOptions{MaxIters: 6000})
+	r, err := FrankWolfeContinuation(t.Context(), g, tm, o, FWOptions{MaxIters: 6000})
 	if err != nil {
 		t.Fatalf("FrankWolfeContinuation: %v", err)
 	}
@@ -101,7 +101,7 @@ func TestFrankWolfeInitUsedWhenFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := FrankWolfe(g, tm, o, FWOptions{MaxIters: 10000, RelGap: 1e-10, Init: init})
+	r, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{MaxIters: 10000, RelGap: 1e-10, Init: init})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}

@@ -1,6 +1,7 @@
 package mcf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,7 +50,7 @@ type FWResult struct {
 // falls back to the minimum-MLU LP flow (which is strictly interior
 // whenever the instance is strictly feasible). Returns ErrInfeasible when
 // no feasible flow exists.
-func FrankWolfe(g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opts FWOptions) (*FWResult, error) {
+func FrankWolfe(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opts FWOptions) (*FWResult, error) {
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = 2000
 	}
@@ -74,6 +75,9 @@ func FrankWolfe(g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opt
 	var gap float64
 	iters := 0
 	for ; iters < opts.MaxIters; iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcf: frank-wolfe canceled at iteration %d: %w", iters, err)
+		}
 		prices := objective.Prices(cost, g, flow.Total)
 		target, err := AllOrNothing(g, tm, prices)
 		if err != nil {
@@ -143,9 +147,9 @@ func fwStart(g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opts F
 // round from the previous optimum. This scales to networks where the LP
 // would be prohibitive. Returns ErrInfeasible when delta stalls (the
 // instance has no strictly feasible flow).
-func FrankWolfeContinuation(g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opts FWOptions) (*FWResult, error) {
+func FrankWolfeContinuation(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, cost objective.CostFunc, opts FWOptions) (*FWResult, error) {
 	opts.NoLPFallback = true
-	res, err := FrankWolfe(g, tm, cost, opts)
+	res, err := FrankWolfe(ctx, g, tm, cost, opts)
 	if err == nil {
 		return res, nil
 	}
@@ -182,6 +186,9 @@ func FrankWolfeContinuation(g *graph.Graph, tm *traffic.Matrix, cost objective.C
 	}
 	delta := math.Max(required(cur), 0.02)
 	for round := 0; round < 60; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mcf: continuation canceled at round %d: %w", round, err)
+		}
 		inflated := make([]float64, len(caps))
 		for e, c := range caps {
 			inflated[e] = c * (1 + delta)
@@ -192,7 +199,7 @@ func FrankWolfeContinuation(g *graph.Graph, tm *traffic.Matrix, cost objective.C
 		}
 		roundOpts := opts
 		roundOpts.Init = cur
-		res, err := FrankWolfe(gi, tm, cost, roundOpts)
+		res, err := FrankWolfe(ctx, gi, tm, cost, roundOpts)
 		if err != nil {
 			return nil, fmt.Errorf("mcf: continuation round %d (delta=%.4g): %w", round, delta, err)
 		}
@@ -202,7 +209,7 @@ func FrankWolfeContinuation(g *graph.Graph, tm *traffic.Matrix, cost objective.C
 			// from this interior point.
 			finalOpts := opts
 			finalOpts.Init = cur
-			return FrankWolfe(g, tm, cost, finalOpts)
+			return FrankWolfe(ctx, g, tm, cost, finalOpts)
 		}
 		// Any feasible flow has maxU >= min-MLU, so a required inflation
 		// that refuses to shrink means the instance is infeasible.

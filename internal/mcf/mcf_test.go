@@ -197,7 +197,7 @@ func TestMinCostMCFWeightMismatch(t *testing.T) {
 func TestFrankWolfeFig1Beta1(t *testing.T) {
 	g, tm := fig1TM(t)
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FrankWolfe(g, tm, o, FWOptions{MaxIters: 20000, RelGap: 1e-9})
+	r, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{MaxIters: 20000, RelGap: 1e-9})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}
@@ -216,7 +216,7 @@ func TestFrankWolfeFig1Beta1(t *testing.T) {
 func TestFrankWolfeFig1Beta0MatchesLP(t *testing.T) {
 	g, tm := fig1TM(t)
 	o := objective.MustQBeta(0, g.NumLinks(), nil)
-	r, err := FrankWolfe(g, tm, o, FWOptions{})
+	r, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}
@@ -239,7 +239,7 @@ func TestFrankWolfeBarrierNeedsMLUStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	r, err := FrankWolfe(g, tm, o, FWOptions{MaxIters: 5000})
+	r, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{MaxIters: 5000})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}
@@ -260,7 +260,7 @@ func TestFrankWolfeInfeasible(t *testing.T) {
 		t.Fatal(err)
 	}
 	o := objective.MustQBeta(1, g.NumLinks(), nil)
-	if _, err := FrankWolfe(g, tm, o, FWOptions{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := FrankWolfe(t.Context(), g, tm, o, FWOptions{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -274,7 +274,7 @@ func TestFrankWolfeFortzThorupAllowsOverload(t *testing.T) {
 	if err := tm.Set(0, 2, 2.5); err != nil {
 		t.Fatal(err)
 	}
-	r, err := FrankWolfe(g, tm, objective.FortzThorup{}, FWOptions{})
+	r, err := FrankWolfe(t.Context(), g, tm, objective.FortzThorup{}, FWOptions{})
 	if err != nil {
 		t.Fatalf("FrankWolfe: %v", err)
 	}

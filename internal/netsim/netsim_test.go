@@ -140,7 +140,7 @@ func TestRunMatchesSPEFAnalyticFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := objective.MustQBeta(1, g.NumLinks(), nil)
-	p, err := core.Build(g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 20000}})
+	p, err := core.Build(t.Context(), g, tm, obj, core.Options{First: core.FirstWeightOptions{MaxIters: 20000}})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}

@@ -43,7 +43,7 @@ func TestFortzThorupSearchImproves(t *testing.T) {
 	}
 	// Lower bound: the Frank-Wolfe optimum of the same cost over the
 	// unrestricted flow polytope (OSPF/ECMP can never beat it).
-	fw, err := mcf.FrankWolfe(g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 3000})
+	fw, err := mcf.FrankWolfe(t.Context(), g, tm, objective.FortzThorup{}, mcf.FWOptions{MaxIters: 3000})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,61 @@
+// Package scenario provides the bounded worker pool under the public
+// Scenario/Runner batch engine: it executes N independent jobs over a
+// fixed number of goroutines and collects results by job index, so the
+// output is deterministic and independent of worker count and of the
+// order in which workers happen to finish.
+package scenario
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run executes jobs 0..n-1 over at most workers goroutines and returns
+// the per-job results indexed by job number. workers <= 0 selects
+// GOMAXPROCS. job receives the (possibly canceled) ctx; once ctx is
+// done, unstarted jobs are skipped and their results are produced by
+// canceled, so every slot of the returned slice is filled either way.
+// done, when non-nil, is called after every job completes (serialized;
+// completed counts both run and skipped jobs).
+func Run[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) T, canceled func(i int) T, done func(completed, total int)) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	completed := 0
+	finish := func(i int, r T) {
+		mu.Lock()
+		results[i] = r
+		completed++
+		if done != nil {
+			done(completed, n)
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					finish(i, canceled(i))
+					continue
+				}
+				finish(i, job(ctx, i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

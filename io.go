@@ -115,30 +115,44 @@ func ParseNetworkAndDemands(r io.Reader) (*Network, *Demands, error) {
 // WriteNetworkAndDemands emits the text format. d may be nil.
 func WriteNetworkAndDemands(w io.Writer, n *Network, d *Demands) error {
 	bw := bufio.NewWriter(w)
-	name := func(i int) string {
-		if s := n.NodeName(i); s != "" {
-			return s
-		}
-		return fmt.Sprintf("n%d", i)
-	}
+	name := n.nodeLabel
 	for i := 0; i < n.NumNodes(); i++ {
 		fmt.Fprintf(bw, "node %s\n", name(i))
 	}
-	// Emit duplex pairs once; leftover one-way links individually.
-	written := make(map[int]bool, n.NumLinks())
+	// Emit duplex pairs once; leftover one-way links individually. An
+	// endpoint-keyed index finds each link's reverse partner in O(1)
+	// amortized (parallel links queue up under the same key), keeping
+	// the whole emission linear in the link count.
+	type endpoints struct{ from, to int }
+	candidates := make(map[endpoints][]int, n.NumLinks())
+	for id := 0; id < n.NumLinks(); id++ {
+		from, to, _ := n.Link(id)
+		key := endpoints{from, to}
+		candidates[key] = append(candidates[key], id)
+	}
+	written := make([]bool, n.NumLinks())
 	for id := 0; id < n.NumLinks(); id++ {
 		if written[id] {
 			continue
 		}
 		from, to, capacity := n.Link(id)
 		rev := -1
-		for other := id + 1; other < n.NumLinks(); other++ {
-			oFrom, oTo, oCap := n.Link(other)
-			if !written[other] && oFrom == to && oTo == from && oCap == capacity {
-				rev = other
-				break
+		key := endpoints{to, from}
+		queue := candidates[key]
+		kept := queue[:0]
+		for i, other := range queue {
+			if written[other] {
+				continue // consumed earlier; drop from the index
 			}
+			if rev < 0 {
+				if _, _, oCap := n.Link(other); oCap == capacity {
+					rev = other
+					continue
+				}
+			}
+			kept = append(kept, queue[i])
 		}
+		candidates[key] = kept
 		if rev >= 0 {
 			written[rev] = true
 			fmt.Fprintf(bw, "duplex %s %s %g\n", name(from), name(to), capacity)

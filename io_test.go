@@ -1,0 +1,235 @@
+package spef
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// linkKey identifies a directed link up to ID renumbering.
+type linkKey struct {
+	from, to int
+	capacity float64
+}
+
+func linkMultiset(n *Network) map[linkKey]int {
+	out := make(map[linkKey]int, n.NumLinks())
+	for id := 0; id < n.NumLinks(); id++ {
+		from, to, c := n.Link(id)
+		out[linkKey{from, to, c}]++
+	}
+	return out
+}
+
+// roundTrip writes the network and demands and parses them back,
+// failing the test on any error.
+func roundTrip(t *testing.T, n *Network, d *Demands) (*Network, *Demands) {
+	t.Helper()
+	var sb strings.Builder
+	if err := WriteNetworkAndDemands(&sb, n, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	n2, d2, err := ParseNetworkAndDemands(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-Parse: %v\ninput:\n%s", err, sb.String())
+	}
+	return n2, d2
+}
+
+func checkRoundTrip(t *testing.T, n *Network, d *Demands) {
+	t.Helper()
+	n2, d2 := roundTrip(t, n, d)
+	if n2.NumNodes() != n.NumNodes() {
+		t.Fatalf("nodes: %d, want %d", n2.NumNodes(), n.NumNodes())
+	}
+	want := linkMultiset(n)
+	got := linkMultiset(n2)
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("link %d->%d cap %g: count %d, want %d", k.from, k.to, k.capacity, got[k], c)
+		}
+	}
+	for k, c := range got {
+		if want[k] != c {
+			t.Errorf("unexpected link %d->%d cap %g (count %d)", k.from, k.to, k.capacity, c)
+		}
+	}
+	if d != nil {
+		for s := 0; s < n.NumNodes(); s++ {
+			for u := 0; u < n.NumNodes(); u++ {
+				if a, b := d.At(s, u), d2.At(s, u); a != b {
+					t.Errorf("demand (%d,%d): %v, want %v", s, u, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundTripOneWayLinks checks pure one-way links survive (nothing
+// is spuriously paired into a duplex).
+func TestRoundTripOneWayLinks(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	c := n.AddNode("c")
+	for _, l := range [][2]int{{a, b}, {b, c}, {c, a}} {
+		if _, err := n.AddLink(l[0], l[1], 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkRoundTrip(t, n, nil)
+}
+
+// TestRoundTripAsymmetricDuplex checks opposite-direction links with
+// different capacities are NOT merged into a duplex line: a duplex
+// would equalize the capacities.
+func TestRoundTripAsymmetricDuplex(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	if _, err := n.AddLink(a, b, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddLink(b, a, 3); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteNetworkAndDemands(&sb, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "duplex") {
+		t.Errorf("asymmetric pair emitted as duplex:\n%s", sb.String())
+	}
+	checkRoundTrip(t, n, nil)
+}
+
+// TestRoundTripParallelLinks checks parallel links (multigraph) and
+// mixed parallel/duplex structures survive with correct multiplicity.
+func TestRoundTripParallelLinks(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddNode("a")
+	b := n.AddNode("b")
+	// Two parallel a->b at cap 5, one reverse b->a at cap 5 (pairs with
+	// exactly one of them), plus one a->b at cap 7.
+	for _, c := range []float64{5, 5, 7} {
+		if _, err := n.AddLink(a, b, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := n.AddLink(b, a, 5); err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, n, nil)
+}
+
+// TestRoundTripComments checks comments and blank lines are ignored on
+// parse.
+func TestRoundTripComments(t *testing.T) {
+	const input = `# header comment
+
+node a
+# interior comment
+node b
+
+duplex a b 4
+demand a b 1.25
+# trailing comment
+`
+	n, d, err := ParseNetworkAndDemands(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.NumLinks() != 2 || d.Total() != 1.25 {
+		t.Fatalf("parsed %d links, total %v", n.NumLinks(), d.Total())
+	}
+	checkRoundTrip(t, n, d)
+}
+
+// TestRoundTripRandomized is the property test: random multigraphs with
+// duplex pairs, asymmetric pairs, one-way and parallel links plus
+// random sparse demands always round-trip exactly.
+func TestRoundTripRandomized(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork()
+		nodes := 2 + rng.Intn(8)
+		for i := 0; i < nodes; i++ {
+			n.AddNode(fmt.Sprintf("x%d", i))
+		}
+		// Use capacities from a tiny set to force collisions (the duplex
+		// pairing is capacity-sensitive).
+		caps := []float64{1, 2, 2.5}
+		links := 1 + rng.Intn(4*nodes)
+		for i := 0; i < links; i++ {
+			a, b := rng.Intn(nodes), rng.Intn(nodes)
+			if a == b {
+				continue
+			}
+			c := caps[rng.Intn(len(caps))]
+			switch rng.Intn(3) {
+			case 0: // one-way
+				if _, err := n.AddLink(a, b, c); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // symmetric duplex
+				if _, _, err := n.AddDuplex(a, b, c); err != nil {
+					t.Fatal(err)
+				}
+			default: // asymmetric pair
+				if _, err := n.AddLink(a, b, c); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := n.AddLink(b, a, c+0.5); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if n.NumLinks() == 0 {
+			continue
+		}
+		d := NewDemands(n)
+		for i := 0; i < rng.Intn(6); i++ {
+			s, u := rng.Intn(nodes), rng.Intn(nodes)
+			if s == u {
+				continue
+			}
+			if err := d.Add(s, u, 0.25*float64(1+rng.Intn(8))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			checkRoundTrip(t, n, d)
+		})
+	}
+}
+
+// TestParseErrorLineNumbers checks every error path reports the
+// offending line number.
+func TestParseErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		input    string
+		wantLine string
+	}{
+		{"node a\nnode a\n", "line 2"},                           // duplicate node
+		{"# c\n\nnode a\nlink a b 1\n", "line 4"},                // unknown node
+		{"node a\nnode b\n\nlink a b x\n", "line 4"},             // bad capacity
+		{"node a\nnode b\nlink a b\n", "line 3"},                 // arity
+		{"node a\n# ok\nfrobnicate\n", "line 3"},                 // unknown directive
+		{"node a\nnode b\nlink a b 1\ndemand a b -1\n", ""},      // negative demand (matrix error)
+		{"node a\nnode b\ndemand a b zz\n", "line 3"},            // bad volume
+		{"node a\nnode b\nlink a b 0\n", "line 3"},               // non-positive capacity
+		{"node a\nnode b\nnode c\nduplex a a 1\n", "line 4"},     // self-loop
+		{"node a\nnode b\nlink a b 1\ndemand a c 1\n", "line 4"}, // unknown demand endpoint
+	}
+	for i, c := range cases {
+		_, _, err := ParseNetworkAndDemands(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("case %d: bad input accepted: %q", i, c.input)
+			continue
+		}
+		if c.wantLine != "" && !strings.Contains(err.Error(), c.wantLine) {
+			t.Errorf("case %d: error %q does not name %s", i, err, c.wantLine)
+		}
+	}
+}

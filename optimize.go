@@ -1,6 +1,7 @@
 package spef
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -10,34 +11,111 @@ import (
 	"repro/internal/routing"
 )
 
-// Config tunes Optimize. The zero value selects the paper's defaults:
-// beta = 1 (proportional load balance), q = 1 on every link, automatic
-// iteration budgets and equal-cost tolerance.
-type Config struct {
-	// Beta is the load-balance exponent of the (q, beta) objective.
-	// A plain zero Config means beta = 1 (the paper's evaluation
-	// default); to request beta = 0 (minimum total load), set BetaSet.
-	Beta float64
-	// BetaSet forces Beta to be honored even when it is 0 (so the
-	// zero-value Config still means beta = 1).
-	BetaSet bool
-	// Q optionally supplies per-link objective coefficients (nil = 1).
-	Q []float64
-	// MaxIterations bounds Algorithm 1's subgradient phase (0 = default).
+// Progress reports optimization progress from inside the SPEF pipeline.
+type Progress struct {
+	// Stage names the running stage: StageFirstWeights (Algorithm 1) or
+	// StageSecondWeights (Algorithm 2).
+	Stage string
+	// Iteration and MaxIterations locate the stage's progress.
+	Iteration     int
 	MaxIterations int
-	// SplitIterations bounds Algorithm 2 (0 = default).
-	SplitIterations int
-	// EqualCostTolerance is the Dijkstra equal-cost tolerance used to
-	// build the shortest-path DAGs (0 = the paper's default of 0.3 in
-	// the normalized weight space).
-	EqualCostTolerance float64
 }
 
-func (c Config) beta() float64 {
-	if c.BetaSet || c.Beta != 0 {
-		return c.Beta
+// Stage names reported through WithProgress.
+const (
+	StageFirstWeights  = "first-weights"  // Algorithm 1 (subgradient)
+	StageSecondWeights = "second-weights" // Algorithm 2 (NEM gradient)
+)
+
+// options collects the resolved functional options of Optimize and the
+// Router constructors. The defaults are the paper's: beta = 1
+// (proportional load balance), q = 1 on every link, automatic iteration
+// budgets and equal-cost tolerance.
+type options struct {
+	beta            float64
+	q               []float64
+	maxIterations   int
+	splitIterations int
+	equalCostTol    float64
+	progress        func(Progress)
+}
+
+func resolveOptions(opts []Option) options {
+	o := options{beta: 1}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return 1
+	return o
+}
+
+// coreOptions translates the resolved options into the internal
+// pipeline configuration.
+func (o options) coreOptions() core.Options {
+	c := core.Options{
+		First:       core.FirstWeightOptions{MaxIters: o.maxIterations, Progress: o.stageProgress(StageFirstWeights)},
+		Second:      core.SecondWeightOptions{MaxIters: o.splitIterations, Progress: o.stageProgress(StageSecondWeights)},
+		DijkstraTol: o.equalCostTol,
+	}
+	return c
+}
+
+func (o options) stageProgress(stage string) func(iter, max int) {
+	if o.progress == nil {
+		return nil
+	}
+	fn := o.progress
+	return func(iter, max int) {
+		fn(Progress{Stage: stage, Iteration: iter, MaxIterations: max})
+	}
+}
+
+func (o options) objective(links int) (*objective.QBeta, error) {
+	return objective.NewQBeta(o.beta, links, o.q)
+}
+
+// Option tunes Optimize and the optimizing Router constructors (SPEF,
+// PEFT, Optimal).
+type Option func(*options)
+
+// WithBeta sets the load-balance exponent of the (q, beta) objective.
+// beta = 0 minimizes total carried traffic, beta = 1 (the default) is
+// proportional load balance, and growing beta approaches min-max load
+// balance.
+func WithBeta(beta float64) Option {
+	return func(o *options) { o.beta = beta }
+}
+
+// WithQ supplies per-link objective coefficients (default: 1 on every
+// link).
+func WithQ(q []float64) Option {
+	return func(o *options) { o.q = q }
+}
+
+// WithMaxIterations bounds Algorithm 1's subgradient phase (default:
+// the pipeline's automatic budget).
+func WithMaxIterations(n int) Option {
+	return func(o *options) { o.maxIterations = n }
+}
+
+// WithSplitIterations bounds Algorithm 2's NEM gradient phase (default:
+// the pipeline's automatic budget).
+func WithSplitIterations(n int) Option {
+	return func(o *options) { o.splitIterations = n }
+}
+
+// WithEqualCostTolerance sets the Dijkstra equal-cost tolerance used to
+// build the shortest-path DAGs (default: the paper's 0.3 in the
+// normalized weight space).
+func WithEqualCostTolerance(tol float64) Option {
+	return func(o *options) { o.equalCostTol = tol }
+}
+
+// WithProgress installs a progress callback invoked once per iteration
+// of each optimization stage. The callback runs on the optimizing
+// goroutine; use it for reporting and for driving external cancellation
+// decisions, not for heavy work.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) { o.progress = fn }
 }
 
 // Protocol is an optimized SPEF routing state for one network and
@@ -51,21 +129,31 @@ type Protocol struct {
 // Algorithm 1 computes the first (optimal) link weights and the optimal
 // traffic distribution, Dijkstra builds the equal-cost DAGs, and
 // Algorithm 2 computes the second link weights realizing the optimum by
-// exponential splitting.
-func Optimize(n *Network, d *Demands, cfg Config) (*Protocol, error) {
-	obj, err := objective.NewQBeta(cfg.beta(), n.NumLinks(), cfg.Q)
+// exponential splitting. Cancelling ctx aborts whichever stage is
+// running with an error wrapping the context's error.
+func Optimize(ctx context.Context, n *Network, d *Demands, opts ...Option) (*Protocol, error) {
+	o := resolveOptions(opts)
+	obj, err := o.objective(n.NumLinks())
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.Build(n.g, d.m, obj, core.Options{
-		First:       core.FirstWeightOptions{MaxIters: cfg.MaxIterations},
-		Second:      core.SecondWeightOptions{MaxIters: cfg.SplitIterations},
-		DijkstraTol: cfg.EqualCostTolerance,
-	})
+	p, err := core.Build(ctx, n.g, d.m, obj, o.coreOptions())
 	if err != nil {
 		return nil, err
 	}
 	return &Protocol{net: n, p: p}, nil
+}
+
+// Routes returns the uniform routing view of the optimized protocol —
+// the same object a SPEF Router produces.
+func (p *Protocol) Routes() *Routes {
+	return &Routes{
+		router:   routerNameSPEF,
+		net:      p.net,
+		dags:     p.p.DAGs,
+		splits:   p.p.Splits,
+		protocol: p,
+	}
 }
 
 // FirstWeights returns the first (optimal) link weight vector.
@@ -172,46 +260,11 @@ func (p *Protocol) Evaluate(d *Demands) (*TrafficReport, error) {
 	return reportFor(p.net, flow.Total), nil
 }
 
-// EvaluateOSPF evaluates plain OSPF with even ECMP splitting. weights
-// nil selects Cisco-style InvCap weights (the paper's baseline).
-func EvaluateOSPF(n *Network, d *Demands, weights []float64) (*TrafficReport, error) {
-	o, err := routing.BuildOSPF(n.g, d.m.Destinations(), weights, 0)
-	if err != nil {
-		return nil, err
-	}
-	flow, err := o.Flow(d.m)
-	if err != nil {
-		return nil, err
-	}
-	return reportFor(n, flow.Total), nil
-}
-
-// EvaluatePEFT evaluates downward PEFT under the given link weights.
-func EvaluatePEFT(n *Network, d *Demands, weights []float64) (*TrafficReport, error) {
-	p, err := routing.BuildPEFT(n.g, d.m.Destinations(), weights)
-	if err != nil {
-		return nil, err
-	}
-	flow, err := p.Flow(d.m)
-	if err != nil {
-		return nil, err
-	}
-	return reportFor(n, flow.Total), nil
-}
-
-// OptimalUtility returns the best achievable normalized utility for the
-// demands under the beta=1 objective (the optimal-TE reference SPEF
-// provably attains).
-func OptimalUtility(n *Network, d *Demands) (float64, error) {
-	obj, err := objective.NewQBeta(1, n.NumLinks(), nil)
-	if err != nil {
-		return 0, err
-	}
-	fw, err := mcf.FrankWolfeContinuation(n.g, d.m, obj, mcf.FWOptions{})
-	if err != nil {
-		return 0, err
-	}
-	return objective.LogSpareUtility(n.g, fw.Flow.Total), nil
+// InvCapWeights returns Cisco-style inverse-capacity OSPF weights for
+// the network, normalized so the largest link gets weight 1 — the
+// baseline weight setting of the paper's evaluation.
+func InvCapWeights(n *Network) []float64 {
+	return routing.InvCapWeights(n.g)
 }
 
 // MinMLU returns the minimum achievable maximum link utilization for the
@@ -268,34 +321,15 @@ func simReport(r *netsim.Result) *SimulationReport {
 // Simulate runs the packet-level simulator with SPEF's forwarding state
 // (per-packet probabilistic next hops drawn from the split ratios).
 func (p *Protocol) Simulate(d *Demands, cfg SimulationConfig) (*SimulationReport, error) {
-	r, err := netsim.Run(netsim.Config{
-		G:              p.net.g,
-		CapacityUnit:   cfg.CapacityBitsPerUnit,
-		Demands:        d.m.Demands(),
-		Splits:         p.p.Splits,
-		PacketBits:     cfg.PacketBits,
-		Duration:       cfg.DurationSeconds,
-		FlowsPerDemand: cfg.FlowsPerDemand,
-		Seed:           cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return simReport(r), nil
+	return simulateSplits(p.net, d, p.p.Splits, cfg)
 }
 
-// SimulatePEFT runs the packet-level simulator with downward-PEFT
-// forwarding under the given weights (the paper's Fig. 11 comparison).
-func SimulatePEFT(n *Network, d *Demands, weights []float64, cfg SimulationConfig) (*SimulationReport, error) {
-	peft, err := routing.BuildPEFT(n.g, d.m.Destinations(), weights)
-	if err != nil {
-		return nil, err
-	}
+func simulateSplits(n *Network, d *Demands, splits map[int][]float64, cfg SimulationConfig) (*SimulationReport, error) {
 	r, err := netsim.Run(netsim.Config{
 		G:              n.g,
 		CapacityUnit:   cfg.CapacityBitsPerUnit,
 		Demands:        d.m.Demands(),
-		Splits:         peft.Splits,
+		Splits:         splits,
 		PacketBits:     cfg.PacketBits,
 		Duration:       cfg.DurationSeconds,
 		FlowsPerDemand: cfg.FlowsPerDemand,

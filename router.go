@@ -1,0 +1,453 @@
+package spef
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/routing"
+)
+
+// Router is the uniform entry point to every routing scheme the paper
+// compares: SPEF, ECMP-OSPF, downward PEFT, and the optimal-TE
+// reference. Routes computes the scheme's forwarding outcome for one
+// network and demand set; the returned Routes evaluates and simulates
+// uniformly across schemes, which is what makes grid comparisons (the
+// Scenario engine) possible.
+//
+// Implementations must be safe for concurrent use by multiple
+// goroutines: the Scenario runner shares one Router value across its
+// worker pool.
+type Router interface {
+	// Name identifies the scheme (and its parameterization) in results.
+	Name() string
+	// Routes computes forwarding state for the demands' destinations.
+	// Cancelling ctx aborts any optimization in flight with an error
+	// wrapping the context's error.
+	Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error)
+}
+
+// BetaRouter is implemented by Routers whose (q, beta) objective
+// exponent can be re-parameterized — SPEF and Optimal. The Scenario
+// Grid's Betas axis expands such routers into one variant per beta.
+type BetaRouter interface {
+	Router
+	// WithBeta returns a copy of the router optimizing for the given
+	// beta.
+	WithBeta(beta float64) Router
+}
+
+// Router display names.
+const (
+	routerNameSPEF    = "SPEF"
+	routerNameOSPF    = "OSPF"
+	routerNameInvCap  = "InvCap-OSPF"
+	routerNamePEFT    = "PEFT"
+	routerNameOptimal = "Optimal"
+)
+
+// betaSuffix names a beta parameterization; the paper's default beta=1
+// stays unsuffixed.
+func betaSuffix(name string, beta float64) string {
+	if beta == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s(beta=%g)", name, beta)
+}
+
+// SPEF returns the paper's protocol as a Router: the full two-weight
+// pipeline (Algorithm 4) optimized per demand set with the given
+// options. The produced Routes exposes the underlying *Protocol via
+// Routes.Protocol for scheme-specific state (weights, forwarding
+// tables).
+func SPEF(opts ...Option) Router { return spefRouter{opts: opts} }
+
+type spefRouter struct{ opts []Option }
+
+func (r spefRouter) Name() string {
+	return betaSuffix(routerNameSPEF, resolveOptions(r.opts).beta)
+}
+
+func (r spefRouter) WithBeta(beta float64) Router {
+	return spefRouter{opts: append(append([]Option(nil), r.opts...), WithBeta(beta))}
+}
+
+func (r spefRouter) reindexLinks(keep []int) Router {
+	if opts, ok := reindexOptions(r.opts, keep); ok {
+		return spefRouter{opts: opts}
+	}
+	return r
+}
+
+// reindexOptions projects an option set's per-link q coefficients
+// through keep, reporting whether a projection was needed. Appending a
+// WithQ overrides the earlier one (last write wins), preserving every
+// other option.
+func reindexOptions(opts []Option, keep []int) ([]Option, bool) {
+	q := resolveOptions(opts).q
+	if q == nil {
+		return nil, false
+	}
+	rq := remapLinkVector(q, keep)
+	if rq == nil {
+		return nil, false
+	}
+	return append(append([]Option(nil), opts...), WithQ(rq)), true
+}
+
+func (r spefRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error) {
+	p, err := Optimize(ctx, n, d, r.opts...)
+	if err != nil {
+		return nil, err
+	}
+	routes := p.Routes()
+	routes.router = r.Name()
+	return routes, nil
+}
+
+// linkReindexer is implemented by routers carrying per-link
+// configuration (explicit weight vectors) indexed by a specific
+// topology's link IDs. The Scenario engine's failure variants renumber
+// links, so such configuration must be projected onto the survivors —
+// the "stale weights" semantics of a real deployment between a failure
+// and re-optimization.
+type linkReindexer interface {
+	// reindexLinks returns a copy of the router with per-link vectors
+	// projected through keep (keep[newID] = oldID).
+	reindexLinks(keep []int) Router
+}
+
+// reindexRouter projects a router's per-link configuration onto a
+// failure variant's surviving links when the router carries any.
+func reindexRouter(r Router, keep []int) Router {
+	if ri, ok := r.(linkReindexer); ok {
+		return ri.reindexLinks(keep)
+	}
+	return r
+}
+
+// remapLinkVector projects an intact-topology per-link vector onto the
+// surviving links. Returns nil (leave the router unchanged, so it
+// reports its own length error) when the vector does not cover every
+// surviving link's original ID.
+func remapLinkVector(v []float64, keep []int) []float64 {
+	out := make([]float64, len(keep))
+	for newID, oldID := range keep {
+		if oldID >= len(v) {
+			return nil
+		}
+		out[newID] = v[oldID]
+	}
+	return out
+}
+
+// Named wraps a router with a custom display name — used to
+// disambiguate otherwise identically-named routers in scenario grids
+// (e.g. two OSPF routers with different weight vectors). The wrapper
+// forwards Routes unchanged but is not beta-configurable; apply Named
+// after any WithBeta parameterization.
+func Named(name string, r Router) Router { return namedRouter{name: name, r: r} }
+
+type namedRouter struct {
+	name string
+	r    Router
+}
+
+func (n namedRouter) Name() string { return n.name }
+
+func (n namedRouter) Routes(ctx context.Context, net *Network, d *Demands) (*Routes, error) {
+	routes, err := n.r.Routes(ctx, net, d)
+	if err != nil {
+		return nil, err
+	}
+	routes.router = n.name
+	return routes, nil
+}
+
+func (n namedRouter) reindexLinks(keep []int) Router {
+	return namedRouter{name: n.name, r: reindexRouter(n.r, keep)}
+}
+
+// OSPF returns plain OSPF with even ECMP splitting as a Router.
+// weights nil selects Cisco-style InvCap weights (the paper's
+// baseline). Wrap with Named to distinguish multiple weight settings
+// in one grid.
+func OSPF(weights []float64) Router { return ospfRouter{weights: weights} }
+
+type ospfRouter struct{ weights []float64 }
+
+func (r ospfRouter) Name() string {
+	if r.weights == nil {
+		return routerNameInvCap
+	}
+	return routerNameOSPF
+}
+
+func (r ospfRouter) reindexLinks(keep []int) Router {
+	if r.weights == nil {
+		return r // InvCap derives from the variant's own capacities
+	}
+	if w := remapLinkVector(r.weights, keep); w != nil {
+		return ospfRouter{weights: w}
+	}
+	return r
+}
+
+func (r ospfRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("spef: OSPF routes canceled: %w", err)
+	}
+	o, err := routing.BuildOSPF(n.g, d.m.Destinations(), r.weights, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Routes{router: r.Name(), net: n, dags: o.DAGs, splits: o.Splits}, nil
+}
+
+// PEFT returns downward PEFT (Xu-Chiang-Rexford INFOCOM'08) as a
+// Router. weights nil optimizes the link weights with Algorithm 1 under
+// the options' (q, beta) objective — the paper's comparison, which
+// supplies PEFT with the same optimized first weights as SPEF.
+func PEFT(weights []float64, opts ...Option) Router {
+	return peftRouter{weights: weights, opts: opts}
+}
+
+type peftRouter struct {
+	weights []float64
+	opts    []Option
+}
+
+func (r peftRouter) Name() string {
+	if r.weights != nil {
+		return routerNamePEFT // explicit weights: options do not apply
+	}
+	return betaSuffix(routerNamePEFT, resolveOptions(r.opts).beta)
+}
+
+func (r peftRouter) reindexLinks(keep []int) Router {
+	out := r
+	if r.weights != nil {
+		if w := remapLinkVector(r.weights, keep); w != nil {
+			out.weights = w
+		}
+	}
+	if opts, ok := reindexOptions(r.opts, keep); ok {
+		out.opts = opts
+	}
+	return out
+}
+
+func (r peftRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error) {
+	w := r.weights
+	if w == nil {
+		o := resolveOptions(r.opts)
+		obj, err := o.objective(n.NumLinks())
+		if err != nil {
+			return nil, err
+		}
+		first, err := core.FirstWeights(ctx, n.g, d.m, obj, core.FirstWeightOptions{
+			MaxIters: o.maxIterations,
+			Progress: o.stageProgress(StageFirstWeights),
+		})
+		if err != nil {
+			return nil, err
+		}
+		w = first.W
+	}
+	p, err := routing.BuildPEFT(n.g, d.m.Destinations(), w)
+	if err != nil {
+		return nil, err
+	}
+	return &Routes{router: r.Name(), net: n, dags: p.DAGs, splits: p.Splits}, nil
+}
+
+// Optimal returns the optimal-TE reference as a Router: the
+// Frank-Wolfe continuation solver minimizing the options' (q, beta)
+// objective over the multi-commodity flow polytope, with no protocol
+// realizability constraint. Its Routes carries the optimal per-link
+// flow and the split ratios that realize it; Evaluate accepts the
+// demand set the routes were computed for.
+func Optimal(opts ...Option) Router { return optimalRouter{opts: opts} }
+
+type optimalRouter struct{ opts []Option }
+
+func (r optimalRouter) Name() string {
+	return betaSuffix(routerNameOptimal, resolveOptions(r.opts).beta)
+}
+
+func (r optimalRouter) WithBeta(beta float64) Router {
+	return optimalRouter{opts: append(append([]Option(nil), r.opts...), WithBeta(beta))}
+}
+
+func (r optimalRouter) reindexLinks(keep []int) Router {
+	if opts, ok := reindexOptions(r.opts, keep); ok {
+		return optimalRouter{opts: opts}
+	}
+	return r
+}
+
+func (r optimalRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error) {
+	o := resolveOptions(r.opts)
+	obj, err := o.objective(n.NumLinks())
+	if err != nil {
+		return nil, err
+	}
+	fw, err := mcf.FrankWolfeContinuation(ctx, n.g, d.m, obj, mcf.FWOptions{MaxIters: o.maxIterations})
+	if err != nil {
+		return nil, err
+	}
+	return &Routes{
+		router:  r.Name(),
+		net:     n,
+		splits:  flowSplits(n.g, fw.Flow),
+		flow:    fw.Flow,
+		demands: d.Clone(),
+	}, nil
+}
+
+// flowSplits derives per-destination split ratios from a
+// destination-aggregated flow: at every node, each out-link's ratio is
+// its share of the node's total outflow for that destination.
+func flowSplits(g *graph.Graph, flow *mcf.Flow) map[int][]float64 {
+	splits := make(map[int][]float64, len(flow.PerDest))
+	for t, ft := range flow.PerDest {
+		ratio := make([]float64, g.NumLinks())
+		for u := 0; u < g.NumNodes(); u++ {
+			var out float64
+			for _, id := range g.OutLinks(u) {
+				out += ft[id]
+			}
+			if out <= 0 {
+				continue
+			}
+			for _, id := range g.OutLinks(u) {
+				ratio[id] = ft[id] / out
+			}
+		}
+		splits[t] = ratio
+	}
+	return splits
+}
+
+// Routes is the uniform routing outcome every Router produces:
+// per-destination split ratios over a network, evaluable analytically
+// (Evaluate) and by packet-level simulation (Simulate) regardless of
+// the scheme that computed them.
+type Routes struct {
+	router string
+	net    *Network
+	// splits[t][id] is the fraction of traffic toward destination t
+	// that the tail of link id forwards over it.
+	splits map[int][]float64
+	// dags holds the per-destination forwarding DAGs of protocol-backed
+	// routes (SPEF, OSPF, PEFT); nil for flow-backed routes.
+	dags map[int]*graph.DAG
+	// flow and demands back the optimal reference: the precomputed
+	// optimal distribution and the matrix it routes.
+	flow    *mcf.Flow
+	demands *Demands
+	// protocol is the underlying SPEF state when the routes came from
+	// the SPEF router.
+	protocol *Protocol
+}
+
+// Router returns the name of the scheme that produced the routes.
+func (r *Routes) Router() string { return r.router }
+
+// Network returns the network the routes forward over.
+func (r *Routes) Network() *Network { return r.net }
+
+// Protocol returns the underlying SPEF protocol state when the routes
+// were produced by the SPEF router (or Protocol.Routes), and nil for
+// every other scheme.
+func (r *Routes) Protocol() *Protocol { return r.protocol }
+
+// Destinations lists the destinations the routes carry forwarding state
+// for, in increasing order.
+func (r *Routes) Destinations() []int {
+	out := make([]int, 0, len(r.splits))
+	for t := range r.splits {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SplitRatios returns the per-link split ratios toward the destination:
+// ratio[id] is the fraction of traffic accumulated at link id's tail
+// that the tail forwards over it.
+func (r *Routes) SplitRatios(dst int) ([]float64, error) {
+	s, ok := r.splits[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: no forwarding state for destination %d", ErrBadInput, dst)
+	}
+	return append([]float64(nil), s...), nil
+}
+
+// Evaluate computes the deterministic traffic distribution the routes
+// induce for the demands and reports per-link flows, utilizations, MLU
+// and utility. Protocol-backed routes evaluate any demand set whose
+// destinations are covered; the optimal reference's routes are
+// demand-specific and evaluate exactly the demand set they were
+// computed for.
+func (r *Routes) Evaluate(d *Demands) (*TrafficReport, error) {
+	if r.flow != nil {
+		if !r.demands.equals(d) {
+			return nil, fmt.Errorf("%w: optimal routes are specific to the demands they were computed for; call Routes again for a new demand set", ErrBadInput)
+		}
+		return reportFor(r.net, r.flow.Total), nil
+	}
+	dests := d.m.Destinations()
+	flow := mcf.NewFlow(r.net.g, dests)
+	for _, t := range dests {
+		dag, ok := r.dags[t]
+		if !ok {
+			return nil, fmt.Errorf("%w: no forwarding state for destination %d", ErrBadInput, t)
+		}
+		ft, err := graph.PropagateDown(r.net.g, dag, d.m.ToDestination(t), r.splits[t])
+		if err != nil {
+			return nil, err
+		}
+		flow.PerDest[t] = ft
+	}
+	flow.RecomputeTotal()
+	return reportFor(r.net, flow.Total), nil
+}
+
+// Simulate runs the packet-level simulator with the routes' forwarding
+// state: per-packet (or per-flow, with FlowsPerDemand) next hops drawn
+// from the split ratios. Like Evaluate, flow-backed routes (the
+// optimal reference) only simulate the demand set they were computed
+// for — their splits carry no forwarding state for other sources.
+func (r *Routes) Simulate(d *Demands, cfg SimulationConfig) (*SimulationReport, error) {
+	if r.flow != nil && !r.demands.equals(d) {
+		return nil, fmt.Errorf("%w: optimal routes are specific to the demands they were computed for; call Routes again for a new demand set", ErrBadInput)
+	}
+	return simulateSplits(r.net, d, r.splits, cfg)
+}
+
+// equals reports whether two demand sets carry the same volumes.
+func (d *Demands) equals(o *Demands) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	if d.m.Size() != o.m.Size() {
+		return false
+	}
+	for s := 0; s < d.m.Size(); s++ {
+		for t := 0; t < d.m.Size(); t++ {
+			a, b := d.m.At(s, t), o.m.At(s, t)
+			if a == b {
+				continue
+			}
+			if math.Abs(a-b) > 1e-12*math.Max(math.Abs(a), math.Abs(b)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package spef
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAllRoutersThroughInterface drives all four schemes through the
+// uniform Router interface on the paper's seven-node example and checks
+// the uniform contract: named routes, normalized split ratios, a
+// positive MLU, and the ordering OSPF <= PEFT/SPEF <= Optimal on
+// utility (up to solver slack).
+func TestAllRoutersThroughInterface(t *testing.T) {
+	n, d, err := SimpleExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers := []Router{
+		OSPF(nil),
+		SPEF(WithMaxIterations(3000)),
+		PEFT(nil, WithMaxIterations(3000)),
+		Optimal(),
+	}
+	utilities := make(map[string]float64)
+	for _, r := range routers {
+		routes, err := r.Routes(t.Context(), n, d)
+		if err != nil {
+			t.Fatalf("%s: Routes: %v", r.Name(), err)
+		}
+		if routes.Router() != r.Name() {
+			t.Errorf("routes.Router() = %q, want %q", routes.Router(), r.Name())
+		}
+		report, err := routes.Evaluate(d)
+		if err != nil {
+			t.Fatalf("%s: Evaluate: %v", r.Name(), err)
+		}
+		if report.MLU <= 0 {
+			t.Errorf("%s: MLU = %v, want > 0", r.Name(), report.MLU)
+		}
+		utilities[r.Name()] = report.Utility
+		// Split ratios are normalized at every node that carries
+		// traffic.
+		for _, dst := range routes.Destinations() {
+			split, err := routes.SplitRatios(dst)
+			if err != nil {
+				t.Fatalf("%s: SplitRatios(%d): %v", r.Name(), dst, err)
+			}
+			for u := 0; u < n.NumNodes(); u++ {
+				var sum float64
+				var cnt int
+				for e := 0; e < n.NumLinks(); e++ {
+					from, _, _ := n.Link(e)
+					if from == u && split[e] > 0 {
+						sum += split[e]
+						cnt++
+					}
+				}
+				if cnt > 0 && math.Abs(sum-1) > 1e-6 {
+					t.Errorf("%s: splits at node %d toward %d sum to %v", r.Name(), u, dst, sum)
+				}
+			}
+		}
+	}
+	// SPEF provably attains the optimum; allow small NEM slack. OSPF
+	// overloads this example (utility -Inf), so only check it is no
+	// better than SPEF.
+	opt := utilities[routerNameOptimal]
+	spefU := utilities[routerNameSPEF]
+	if spefU < opt-0.1*math.Abs(opt)-0.1 {
+		t.Errorf("SPEF utility %v far below optimal %v", spefU, opt)
+	}
+	if utilities[routerNameInvCap] > spefU {
+		t.Errorf("OSPF utility %v better than SPEF %v", utilities[routerNameInvCap], spefU)
+	}
+}
+
+func TestRoutesProtocolAccessor(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spefRoutes, err := SPEF(WithMaxIterations(2000)).Routes(t.Context(), n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spefRoutes.Protocol() == nil {
+		t.Error("SPEF routes have no Protocol")
+	}
+	if w := spefRoutes.Protocol().FirstWeights(); len(w) != n.NumLinks() {
+		t.Errorf("FirstWeights has %d entries for %d links", len(w), n.NumLinks())
+	}
+	ospfRoutes, err := OSPF(nil).Routes(t.Context(), n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ospfRoutes.Protocol() != nil {
+		t.Error("OSPF routes expose a SPEF Protocol")
+	}
+}
+
+func TestOptimalRoutesAreDemandSpecific(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := Optimal().Routes(t.Context(), n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := routes.Evaluate(d); err != nil {
+		t.Fatalf("Evaluate with original demands: %v", err)
+	}
+	other, err := d.Scaled(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := routes.Evaluate(other); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Evaluate with different demands: err = %v, want ErrBadInput", err)
+	}
+	if _, err := routes.Simulate(other, SimulationConfig{CapacityBitsPerUnit: 1e6, DurationSeconds: 1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("Simulate with different demands: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	cases := []struct {
+		r    Router
+		want string
+	}{
+		{OSPF(nil), "InvCap-OSPF"},
+		{OSPF([]float64{1}), "OSPF"},
+		{SPEF(), "SPEF"},
+		{SPEF(WithBeta(2)), "SPEF(beta=2)"},
+		{PEFT(nil), "PEFT"},
+		{PEFT(nil, WithBeta(0)), "PEFT(beta=0)"},
+		{PEFT([]float64{1}, WithBeta(0)), "PEFT"},
+		{Optimal(), "Optimal"},
+		{Optimal(WithBeta(0)), "Optimal(beta=0)"},
+		{Named("unit-OSPF", OSPF([]float64{1})), "unit-OSPF"},
+	}
+	for _, c := range cases {
+		if got := c.r.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestNamedRouterDisambiguates checks Named carries through to the
+// produced Routes, so two weight settings of one scheme stay apart in
+// grid results.
+func TestNamedRouterDisambiguates(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := make([]float64, n.NumLinks())
+	for i := range unit {
+		unit[i] = 1
+	}
+	routes, err := Named("unit-OSPF", OSPF(unit)).Routes(t.Context(), n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes.Router() != "unit-OSPF" {
+		t.Errorf("routes.Router() = %q, want %q", routes.Router(), "unit-OSPF")
+	}
+}
+
+func TestOptimizeCancellationBeforeStart(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(ctx, n, d); !errors.Is(err, context.Canceled) {
+		t.Errorf("Optimize on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptimizeCancellationMidRun cancels from inside the progress
+// callback, i.e. while Algorithm 1 is iterating, and checks the
+// subgradient loop aborts promptly with a clean wrapped error.
+func TestOptimizeCancellationMidRun(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	_, err = Optimize(ctx, n, d,
+		WithMaxIterations(100000),
+		WithProgress(func(p Progress) {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got > 12 {
+		t.Errorf("optimization ran %d iterations past cancellation", got-10)
+	}
+}
+
+func TestRouterCancellation(t *testing.T) {
+	n, d, err := SimpleExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, r := range []Router{SPEF(), OSPF(nil), PEFT(nil), Optimal()} {
+		if _, err := r.Routes(ctx, n, d); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s on canceled ctx: err = %v, want context.Canceled", r.Name(), err)
+		}
+	}
+}
+
+func TestWithProgressReportsBothStages(t *testing.T) {
+	n, d, err := Fig1Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := make(map[string]int)
+	_, err = Optimize(t.Context(), n, d,
+		WithMaxIterations(500),
+		WithSplitIterations(200),
+		WithProgress(func(p Progress) {
+			stages[p.Stage]++
+			if p.Iteration < 1 || p.Iteration > p.MaxIterations {
+				t.Errorf("stage %s: iteration %d outside [1, %d]", p.Stage, p.Iteration, p.MaxIterations)
+			}
+		}))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if stages[StageFirstWeights] == 0 {
+		t.Error("no first-weights progress reported")
+	}
+	if stages[StageSecondWeights] == 0 {
+		t.Error("no second-weights progress reported")
+	}
+}

@@ -1,0 +1,317 @@
+package spef
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+// Topology names a network and its base demand matrix for grid
+// expansion.
+type Topology struct {
+	Name    string
+	Network *Network
+	Demands *Demands
+}
+
+// Scenario is one evaluation cell: a router applied to a network and
+// demand set. Cells are independent, which is what lets the runner
+// execute them concurrently with order-independent results.
+type Scenario struct {
+	// Name identifies the cell ("Abilene/load=0.14/SPEF", ...).
+	Name string
+	// Topology is the originating topology's name.
+	Topology string
+	// Network and Demands are the cell's inputs. Failure variants carry
+	// the degraded network; Demands stays the intact topology's matrix
+	// (traffic does not shrink because a link died).
+	Network *Network
+	Demands *Demands
+	// Router is the scheme under evaluation.
+	Router Router
+	// Load is the network load the demands were scaled to (0 = the
+	// topology's demands were used as-is).
+	Load float64
+	// FailedLink names the failed duplex pair ("" = intact topology).
+	FailedLink string
+}
+
+// ScenarioResult is one structured result row of a scenario run.
+type ScenarioResult struct {
+	// Scenario, Topology, Router, Load and FailedLink echo the cell.
+	Scenario   string
+	Topology   string
+	Router     string
+	Load       float64
+	FailedLink string
+	// MLU and Utility summarize the routing outcome (valid when Err is
+	// nil).
+	MLU     float64
+	Utility float64
+	// Runtime is the cell's wall-clock execution time.
+	Runtime time.Duration
+	// Err records a failed cell (optimization error, canceled context,
+	// unroutable demands); the run continues past failed cells.
+	Err error
+}
+
+// Grid declares a comparison sweep: every combination of topology ×
+// load × beta × router, optionally augmented with single-link-failure
+// variants of each topology. Scenarios expands the grid into concrete
+// cells for RunScenarios.
+type Grid struct {
+	// Topologies lists the networks with their base demand matrices.
+	Topologies []Topology
+	// Loads rescales each topology's demands to the given network loads
+	// (Demands.ScaledToLoad on the intact topology). Empty keeps the
+	// base demands unscaled.
+	Loads []float64
+	// Betas expands every BetaRouter (SPEF, Optimal) into one variant
+	// per beta. Empty keeps the routers as configured. Routers that are
+	// not beta-configurable appear once regardless.
+	Betas []float64
+	// Routers lists the schemes under comparison.
+	Routers []Router
+	// SingleLinkFailures adds, for every topology, one variant per
+	// failed duplex pair. Failures that disconnect a demand are
+	// skipped: no routing scheme can be compared on them. Routers
+	// configured with explicit per-link weight vectors (OSPF(w),
+	// PEFT(w)) forward on the survivors with their configured weights
+	// projected onto the renumbered links — the stale-weight behavior
+	// of a real deployment between failure and re-optimization.
+	// Optimizing routers (SPEF, Optimal, PEFT(nil)) re-optimize on
+	// each variant.
+	SingleLinkFailures bool
+}
+
+// Scenarios expands the grid into its concrete cells. The expansion is
+// deterministic: topologies in order, then loads, then failure
+// variants (intact first), then routers (beta-expanded in Betas order).
+func (g Grid) Scenarios() ([]Scenario, error) {
+	routers := g.expandRouters()
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("%w: grid has no routers", ErrBadInput)
+	}
+	if len(g.Topologies) == 0 {
+		return nil, fmt.Errorf("%w: grid has no topologies", ErrBadInput)
+	}
+	loads := g.Loads
+	if len(loads) == 0 {
+		loads = []float64{0}
+	}
+	var cells []Scenario
+	for _, topo := range g.Topologies {
+		if topo.Network == nil || topo.Demands == nil {
+			return nil, fmt.Errorf("%w: topology %q missing network or demands", ErrBadInput, topo.Name)
+		}
+		// Failure variants depend only on the intact topology and the
+		// demands' positivity pattern, which load scaling (a positive
+		// scalar multiply) preserves — compute them once per topology.
+		variants := []failureVariant{{net: topo.Network}}
+		if g.SingleLinkFailures {
+			fv, err := failureVariants(topo.Network, topo.Demands)
+			if err != nil {
+				return nil, fmt.Errorf("spef: grid topology %q: %w", topo.Name, err)
+			}
+			variants = append(variants, fv...)
+		}
+		for _, load := range loads {
+			d := topo.Demands
+			prefix := topo.Name
+			if load > 0 {
+				var err error
+				if d, err = d.ScaledToLoad(topo.Network, load); err != nil {
+					return nil, fmt.Errorf("spef: grid topology %q load %g: %w", topo.Name, load, err)
+				}
+				prefix = fmt.Sprintf("%s/load=%g", topo.Name, load)
+			}
+			for _, v := range variants {
+				name := prefix
+				if v.failedLink != "" {
+					name = fmt.Sprintf("%s/fail=%s", prefix, v.failedLink)
+				}
+				for _, r := range routers {
+					if v.keep != nil {
+						// Project explicitly-configured per-link
+						// weights onto the survivors: the stale-weight
+						// semantics of a deployment between failure
+						// and re-optimization.
+						r = reindexRouter(r, v.keep)
+					}
+					cells = append(cells, Scenario{
+						Name:       fmt.Sprintf("%s/%s", name, r.Name()),
+						Topology:   topo.Name,
+						Network:    v.net,
+						Demands:    d,
+						Router:     r,
+						Load:       load,
+						FailedLink: v.failedLink,
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// expandRouters applies the Betas axis to every beta-configurable
+// router.
+func (g Grid) expandRouters() []Router {
+	if len(g.Betas) == 0 {
+		return g.Routers
+	}
+	var out []Router
+	for _, r := range g.Routers {
+		br, ok := r.(BetaRouter)
+		if !ok {
+			out = append(out, r)
+			continue
+		}
+		for _, beta := range g.Betas {
+			out = append(out, br.WithBeta(beta))
+		}
+	}
+	return out
+}
+
+type failureVariant struct {
+	net        *Network
+	failedLink string
+	// keep maps the variant's link IDs back to the intact topology's
+	// (nil for the intact variant); explicit per-link router
+	// configuration is projected through it.
+	keep []int
+}
+
+// failureVariants generates one degraded network per duplex pair,
+// skipping failures that leave a demand unroutable.
+func failureVariants(n *Network, d *Demands) ([]failureVariant, error) {
+	var out []failureVariant
+	for _, pair := range n.DuplexPairs() {
+		n2, keep, err := n.WithoutLinks(pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		routable, err := demandsRoutable(n2, d)
+		if err != nil {
+			return nil, err
+		}
+		if !routable {
+			continue
+		}
+		from, to, _ := n.Link(pair[0])
+		out = append(out, failureVariant{
+			net:        n2,
+			failedLink: fmt.Sprintf("%s-%s", n2.nodeLabel(from), n2.nodeLabel(to)),
+			keep:       keep,
+		})
+	}
+	return out, nil
+}
+
+// nodeLabel names a node for scenario labels, falling back to the ID.
+func (n *Network) nodeLabel(node int) string {
+	if s := n.NodeName(node); s != "" {
+		return s
+	}
+	return fmt.Sprintf("n%d", node)
+}
+
+// demandsRoutable reports whether every positive demand still has a
+// path.
+func demandsRoutable(n *Network, d *Demands) (bool, error) {
+	zero := make([]float64, n.NumLinks())
+	for _, t := range d.m.Destinations() {
+		sp, err := graph.DijkstraTo(n.g, zero, t)
+		if err != nil {
+			return false, err
+		}
+		for s := 0; s < n.NumNodes(); s++ {
+			if d.At(s, t) > 0 && sp.Dist[s] == graph.Unreachable {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// RunOptions tunes RunScenarios.
+type RunOptions struct {
+	// Workers bounds the number of concurrently executing cells
+	// (<= 0 selects GOMAXPROCS). Results are identical for any worker
+	// count: every cell computes independently and results are
+	// collected by cell index.
+	Workers int
+	// Progress, when non-nil, is called after every completed cell with
+	// the completed and total counts. Calls are serialized.
+	Progress func(completed, total int)
+}
+
+// RunScenarios executes every scenario over a bounded worker pool and
+// returns one result per scenario, in scenario order regardless of
+// completion order or worker count. Per-cell failures are recorded in
+// ScenarioResult.Err and do not stop the run. Cancelling ctx stops
+// starting new cells and marks unstarted ones with the context's
+// error; RunScenarios then returns that error alongside the partial
+// results.
+func RunScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) ([]ScenarioResult, error) {
+	results := scenario.Run(ctx, len(scenarios), opts.Workers,
+		func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, scenarios[i]) },
+		func(i int) ScenarioResult {
+			r := resultShell(scenarios[i])
+			r.Err = ctx.Err()
+			return r
+		},
+		opts.Progress)
+	return results, ctx.Err()
+}
+
+func resultShell(s Scenario) ScenarioResult {
+	return ScenarioResult{
+		Scenario:   s.Name,
+		Topology:   s.Topology,
+		Router:     s.Router.Name(),
+		Load:       s.Load,
+		FailedLink: s.FailedLink,
+	}
+}
+
+func runScenario(ctx context.Context, s Scenario) ScenarioResult {
+	start := time.Now()
+	res := resultShell(s)
+	routes, err := s.Router.Routes(ctx, s.Network, s.Demands)
+	if err == nil {
+		var report *TrafficReport
+		if report, err = routes.Evaluate(s.Demands); err == nil {
+			res.MLU = report.MLU
+			res.Utility = report.Utility
+		}
+	}
+	res.Err = err
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// WriteResultsTable renders scenario results as an aligned text table.
+func WriteResultsTable(w io.Writer, results []ScenarioResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tMLU\tutility\truntime")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(tw, "%s\terror\t%v\t%s\n", r.Scenario, r.Err, r.Runtime.Round(time.Millisecond))
+			continue
+		}
+		utility := fmt.Sprintf("%.4f", r.Utility)
+		if math.IsInf(r.Utility, -1) {
+			utility = "-inf"
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%s\t%s\n", r.Scenario, r.MLU, utility, r.Runtime.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}

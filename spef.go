@@ -18,9 +18,23 @@
 //	n := spef.Abilene()
 //	d, _ := spef.FortzThorupDemands(1, n)
 //	d, _ = d.ScaledToLoad(n, 0.17)
-//	p, _ := spef.Optimize(n, d, spef.Config{Beta: 1})
+//	p, _ := spef.Optimize(ctx, n, d, spef.WithBeta(1))
 //	report, _ := p.Evaluate(d)
 //	fmt.Println(report.MLU, report.Utility)
+//
+// Every routing scheme the paper compares — SPEF, ECMP-OSPF, downward
+// PEFT, and the optimal-TE reference — is also available behind the
+// uniform Router interface, and the Scenario engine sweeps grids of
+// topology x load x beta x router (including generated single-link-
+// failure variants) concurrently:
+//
+//	grid := spef.Grid{
+//		Topologies: []spef.Topology{{Name: "Abilene", Network: n, Demands: d}},
+//		Loads:      []float64{0.12, 0.15, 0.18},
+//		Routers:    []spef.Router{spef.OSPF(nil), spef.SPEF(), spef.Optimal()},
+//	}
+//	cells, _ := grid.Scenarios()
+//	results, _ := spef.RunScenarios(ctx, cells, spef.RunOptions{})
 //
 // The packages under internal/ hold the substrates (graph algorithms,
 // flow solvers, an LP solver, a packet-level simulator) and the
@@ -87,6 +101,24 @@ func (n *Network) Link(id int) (from, to int, capacity float64) {
 
 // TotalCapacity returns the sum of all link capacities.
 func (n *Network) TotalCapacity() float64 { return n.g.TotalCapacity() }
+
+// DuplexPairs returns the [forward, reverse] link-ID pairs of the
+// network: links matched with an opposite-direction partner, each link
+// in at most one pair. Unpaired one-way links are omitted.
+func (n *Network) DuplexPairs() [][2]int { return n.g.DuplexPairs() }
+
+// WithoutLinks returns a copy of the network with the given links
+// removed — the single-link-failure transform of the Scenario engine.
+// Surviving links are renumbered densely; keep[newID] = oldID maps the
+// new link IDs back to the originals so per-link vectors (weights,
+// capacities) can be projected onto the survivors.
+func (n *Network) WithoutLinks(ids ...int) (keptNet *Network, keep []int, err error) {
+	g2, keep, err := n.g.WithoutLinks(ids...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Network{g: g2}, keep, nil
+}
 
 // Validate checks structural invariants.
 func (n *Network) Validate() error { return n.g.Validate() }

@@ -12,7 +12,7 @@ func TestOptimizeFig1(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Fig1Example: %v", err)
 	}
-	p, err := Optimize(n, d, Config{Beta: 1, MaxIterations: 20000})
+	p, err := Optimize(t.Context(), n, d, WithBeta(1), WithMaxIterations(20000))
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -38,12 +38,12 @@ func TestOptimizeFig1(t *testing.T) {
 	}
 }
 
-func TestZeroConfigMeansBeta1(t *testing.T) {
+func TestDefaultOptionsMeanBeta1(t *testing.T) {
 	n, d, err := Fig1Example()
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Optimize(n, d, Config{MaxIterations: 4000})
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(4000))
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -52,11 +52,6 @@ func TestZeroConfigMeansBeta1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, ok := n.NodeByName("n1")
-	if !ok {
-		t.Fatal("node n1 missing")
-	}
-	_ = direct
 	var nonZero int
 	for _, r := range split {
 		if r > 0.01 {
@@ -68,12 +63,12 @@ func TestZeroConfigMeansBeta1(t *testing.T) {
 	}
 }
 
-func TestBetaSetZeroIsMinHop(t *testing.T) {
+func TestWithBetaZeroIsMinHop(t *testing.T) {
 	n, d, err := Fig1Example()
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Optimize(n, d, Config{Beta: 0, BetaSet: true, MaxIterations: 6000})
+	p, err := Optimize(t.Context(), n, d, WithBeta(0), WithMaxIterations(6000))
 	if err != nil {
 		t.Fatalf("Optimize beta=0: %v", err)
 	}
@@ -92,11 +87,15 @@ func TestSPEFBeatsOSPFOnSimpleExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ospf, err := EvaluateOSPF(n, d, nil)
+	ospfRoutes, err := OSPF(nil).Routes(t.Context(), n, d)
 	if err != nil {
-		t.Fatalf("EvaluateOSPF: %v", err)
+		t.Fatalf("OSPF Routes: %v", err)
 	}
-	p, err := Optimize(n, d, Config{MaxIterations: 6000})
+	ospf, err := ospfRoutes.Evaluate(d)
+	if err != nil {
+		t.Fatalf("OSPF Evaluate: %v", err)
+	}
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(6000))
 	if err != nil {
 		t.Fatalf("Optimize: %v", err)
 	}
@@ -111,10 +110,15 @@ func TestSPEFBeatsOSPFOnSimpleExample(t *testing.T) {
 		t.Errorf("OSPF MLU = %v, expected overload on this example", ospf.MLU)
 	}
 	// SPEF's utility approaches the optimal-TE reference.
-	opt, err := OptimalUtility(n, d)
+	optRoutes, err := Optimal().Routes(t.Context(), n, d)
 	if err != nil {
-		t.Fatalf("OptimalUtility: %v", err)
+		t.Fatalf("Optimal Routes: %v", err)
 	}
+	optReport, err := optRoutes.Evaluate(d)
+	if err != nil {
+		t.Fatalf("Optimal Evaluate: %v", err)
+	}
+	opt := optReport.Utility
 	if spef.Utility < opt-0.1*math.Abs(opt)-0.1 {
 		t.Errorf("SPEF utility %v far below optimum %v", spef.Utility, opt)
 	}
@@ -125,13 +129,17 @@ func TestPEFTEvaluates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Optimize(n, d, Config{MaxIterations: 4000})
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(4000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	peft, err := EvaluatePEFT(n, d, p.FirstWeights())
+	routes, err := PEFT(p.FirstWeights()).Routes(t.Context(), n, d)
 	if err != nil {
-		t.Fatalf("EvaluatePEFT: %v", err)
+		t.Fatalf("PEFT Routes: %v", err)
+	}
+	peft, err := routes.Evaluate(d)
+	if err != nil {
+		t.Fatalf("PEFT Evaluate: %v", err)
 	}
 	if peft.MLU <= 0 {
 		t.Errorf("PEFT MLU = %v", peft.MLU)
@@ -143,7 +151,7 @@ func TestForwardingTableAndIntegerWeights(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Optimize(n, d, Config{MaxIterations: 8000})
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(8000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +198,7 @@ func TestSimulateMatchesEvaluate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := Optimize(n, d, Config{MaxIterations: 8000})
+	p, err := Optimize(t.Context(), n, d, WithMaxIterations(8000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,13 +223,17 @@ func TestSimulateMatchesEvaluate(t *testing.T) {
 	if sim.Delivered == 0 {
 		t.Error("no packets delivered")
 	}
-	peftSim, err := SimulatePEFT(n, d, p.FirstWeights(), SimulationConfig{
+	peftRoutes, err := PEFT(p.FirstWeights()).Routes(t.Context(), n, d)
+	if err != nil {
+		t.Fatalf("PEFT Routes: %v", err)
+	}
+	peftSim, err := peftRoutes.Simulate(d, SimulationConfig{
 		CapacityBitsPerUnit: 1e6,
 		DurationSeconds:     60,
 		Seed:                6,
 	})
 	if err != nil {
-		t.Fatalf("SimulatePEFT: %v", err)
+		t.Fatalf("PEFT Simulate: %v", err)
 	}
 	if peftSim.Delivered == 0 {
 		t.Error("PEFT simulation delivered nothing")
@@ -251,6 +263,34 @@ func TestNetworkBuilders(t *testing.T) {
 	}
 	if _, err := RandomNetwork(1, 2, 99); err == nil {
 		t.Error("bad RandomNetwork params accepted")
+	}
+}
+
+func TestNetworkFailureTransforms(t *testing.T) {
+	n := Abilene()
+	pairs := n.DuplexPairs()
+	if len(pairs) != n.NumLinks()/2 {
+		t.Fatalf("Abilene duplex pairs = %d, want %d", len(pairs), n.NumLinks()/2)
+	}
+	n2, keep, err := n.WithoutLinks(pairs[0][0], pairs[0][1])
+	if err != nil {
+		t.Fatalf("WithoutLinks: %v", err)
+	}
+	if n2.NumLinks() != n.NumLinks()-2 {
+		t.Errorf("links after failure = %d, want %d", n2.NumLinks(), n.NumLinks()-2)
+	}
+	if len(keep) != n2.NumLinks() {
+		t.Errorf("keep has %d entries for %d links", len(keep), n2.NumLinks())
+	}
+	for newID, oldID := range keep {
+		nf, nt, nc := n2.Link(newID)
+		of, ot, oc := n.Link(oldID)
+		if nf != of || nt != ot || nc != oc {
+			t.Fatalf("keep[%d] = %d maps mismatched links", newID, oldID)
+		}
+	}
+	if _, _, err := n.WithoutLinks(n.NumLinks()); err == nil {
+		t.Error("out-of-range link removal accepted")
 	}
 }
 
