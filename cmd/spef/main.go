@@ -1,12 +1,18 @@
-// Command spef regenerates the paper's tables and figures. Usage:
+// Command spef regenerates the paper's tables and figures and runs
+// declarative scenario suites. Usage:
 //
 //	spef [-quick] [-workers N] <experiment> [<experiment> ...]
 //	spef [-quick] all
+//	spef suite -spec FILE [-format table|jsonl|csv] [-o FILE] [-stream]
+//	spef suite -topologies abilene -loads 0.12,0.14 -routers invcap,spef ...
 //
 // Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
 // table5 fig12 fig13. fig6 and fig7 share one runner and print both.
-// Interrupting the process (SIGINT/SIGTERM) cancels the running
-// experiment cleanly.
+// The suite subcommand sweeps a Grid declared in JSON or flags over the
+// topology/demand registry and writes results through a sink (aligned
+// table, JSONL, or CSV), optionally streaming each cell as it
+// completes. Interrupting the process (SIGINT/SIGTERM) cancels the
+// running experiment cleanly.
 package main
 
 import (
@@ -57,6 +63,13 @@ var order = []string{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "suite" {
+		if err := suiteMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef suite:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "reduced-fidelity run (fast)")
 	workers := flag.Int("workers", 0, "concurrent cells in sweeping experiments (0 = GOMAXPROCS)")
 	flag.Usage = usage
@@ -105,5 +118,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\nexperiments: %v\n", known())
 }

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	spef "repro"
+)
+
+// suiteMain runs `spef suite`: a declarative scenario sweep parsed from
+// a JSON spec file or assembled from flags, written through a sink.
+func suiteMain(args []string) error {
+	fs := flag.NewFlagSet("suite", flag.ExitOnError)
+	var (
+		specFile   = fs.String("spec", "", "JSON suite spec file (flags below override its fields when set)")
+		topologies = fs.String("topologies", "", "comma-separated topology specs (abilene, rand:n=50,links=242,seed=1, ...)")
+		demands    = fs.String("demands", "", "demand generator spec overriding topology defaults (ft:seed=N, gravity, uniform)")
+		loads      = fs.String("loads", "", "comma-separated network loads")
+		betas      = fs.String("betas", "", "comma-separated beta values for beta-configurable routers")
+		routers    = fs.String("routers", "", "comma-separated router specs (spef, invcap, peft, optimal, spef:iters=N)")
+		metrics    = fs.String("metrics", "", "comma-separated metric names (default: mlu,utility,mean_util,p95_util,mm1_delay,max_stretch)")
+		failures   = fs.Bool("failures", false, "add single-link-failure variants of every topology")
+		iters      = fs.Int("iters", 0, "Algorithm 1 iteration budget for optimizing routers (0 = automatic)")
+		workers    = fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		format     = fs.String("format", "table", "output format: table|jsonl|csv")
+		out        = fs.String("o", "", "output file (default stdout)")
+		stream     = fs.Bool("stream", false, "write each cell as it completes (completion order) instead of the deterministic batch order")
+		progress   = fs.Bool("progress", false, "report cell completion on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spef suite -spec FILE | -topologies T,... -routers R,... [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite := &spef.Suite{}
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			return err
+		}
+		if suite, err = spef.ParseSuite(data); err != nil {
+			return err
+		}
+	}
+	if *topologies != "" {
+		suite.Topologies = splitList(*topologies)
+	}
+	if *demands != "" {
+		suite.Demands = *demands
+	}
+	if *routers != "" {
+		suite.Routers = splitList(*routers)
+	}
+	if *metrics != "" {
+		suite.Metrics = splitList(*metrics)
+	}
+	if *loads != "" {
+		var err error
+		if suite.Loads, err = parseFloats(*loads); err != nil {
+			return fmt.Errorf("-loads: %w", err)
+		}
+	}
+	if *betas != "" {
+		var err error
+		if suite.Betas, err = parseFloats(*betas); err != nil {
+			return fmt.Errorf("-betas: %w", err)
+		}
+	}
+	if *failures {
+		suite.SingleLinkFailures = true
+	}
+	if *iters > 0 {
+		suite.MaxIterations = *iters
+	}
+	if *workers > 0 {
+		suite.Workers = *workers
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	names, err := suite.MetricNames()
+	if err != nil {
+		return err
+	}
+	var sink spef.Sink
+	switch *format {
+	case "table":
+		sink = spef.NewTableSink(w, names...)
+	case "jsonl":
+		sink = spef.NewJSONLSink(w)
+	case "csv":
+		sink = spef.NewCSVSink(w, names...)
+	default:
+		return fmt.Errorf("unknown -format %q (want table, jsonl or csv)", *format)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cells, err := suite.Scenarios()
+	if err != nil {
+		return err
+	}
+	opts, err := suite.RunOptions()
+	if err != nil {
+		return err
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "suite: %d cells\n", len(cells))
+		opts.Progress = func(completed, total int) {
+			fmt.Fprintf(os.Stderr, "\rsuite: %d/%d cells", completed, total)
+			if completed == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	if *stream {
+		failed := 0
+		for r := range spef.StreamScenarios(ctx, cells, opts) {
+			if r.Err != nil {
+				failed++
+			}
+			if err := sink.Write(r); err != nil {
+				return err
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+		return runOutcome(ctx, failed)
+	}
+	results, err := spef.RunScenarios(ctx, cells, opts)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if err := spef.WriteResults(sink, results); err != nil {
+		return err
+	}
+	return runOutcome(ctx, failed)
+}
+
+func runOutcome(ctx context.Context, failed int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "spef suite: %d cell(s) failed (see the error column)\n", failed)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		// Parameterized specs embed commas ("rand:n=50,links=242"):
+		// fragments that are pure key=value pairs re-attach to the
+		// previous spec.
+		if v = strings.TrimSpace(v); v == "" {
+			continue
+		}
+		if len(out) > 0 && strings.Contains(v, "=") && !strings.Contains(v, ":") {
+			out[len(out)-1] += "," + v
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", v)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

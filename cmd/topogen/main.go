@@ -1,30 +1,33 @@
 // Command topogen emits networks (and optionally demands) in the text
-// format consumed by cmd/teopt.
+// format consumed by cmd/teopt. Topologies and demand generators
+// resolve through the library's registry, so any registered spec works.
 //
 // Usage:
 //
-//	topogen -net abilene|cernet2|fig1|simple [-demands ft|none] [-load L]
+//	topogen -net abilene|cernet2|fig1|simple [-demands ft|gravity|uniform|none] [-load L]
 //	topogen -net rand -nodes 50 -links 242 [-seed 1] ...
 //	topogen -net hier -nodes 50 -clusters 5 -links 222 ...
+//	topogen -net rand:n=80,links=320,seed=7 -demands gravity:sigma=0.8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	spef "repro"
 )
 
 func main() {
 	var (
-		netKind  = flag.String("net", "abilene", "abilene|cernet2|fig1|simple|rand|hier")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		nodes    = flag.Int("nodes", 50, "node count (rand/hier)")
-		links    = flag.Int("links", 222, "directed link count (rand/hier)")
-		clusters = flag.Int("clusters", 5, "cluster count (hier)")
-		demands  = flag.String("demands", "ft", "demand generator: ft|none (fig1/simple carry their own)")
-		load     = flag.Float64("load", 0.1, "network load to scale generated demands to")
+		netKind  = flag.String("net", "abilene", "topology spec: abilene|cernet2|fig1|simple|rand|hier or any registry spec (rand:n=50,links=242,seed=1)")
+		seed     = flag.Int64("seed", 1, "generator seed (rand/hier shorthand and generated demands)")
+		nodes    = flag.Int("nodes", 50, "node count (rand/hier shorthand)")
+		links    = flag.Int("links", 222, "directed link count (rand/hier shorthand)")
+		clusters = flag.Int("clusters", 5, "cluster count (hier shorthand)")
+		demands  = flag.String("demands", "ft", "demand generator spec: ft|gravity|uniform|none, with optional parameters (gravity:seed=2,sigma=0.8); fig1/simple carry their own")
+		load     = flag.Float64("load", 0.1, "network load to scale generated demands to (0 keeps the generator's scale)")
 	)
 	flag.Parse()
 	if err := run(*netKind, *seed, *nodes, *links, *clusters, *demands, *load); err != nil {
@@ -33,37 +36,46 @@ func main() {
 	}
 }
 
-func run(kind string, seed int64, nodes, links, clusters int, demandKind string, load float64) error {
-	var (
-		n   *spef.Network
-		d   *spef.Demands
-		err error
-	)
+func run(kind string, seed int64, nodes, links, clusters int, demandSpec string, load float64) error {
+	// The -nodes/-links/-clusters/-seed shorthand flags expand the bare
+	// generator names into full registry specs. The registry is
+	// case-insensitive; normalize here too so the fig1/simple built-in
+	// check below agrees with what ResolveTopology resolves.
+	kind = strings.ToLower(strings.TrimSpace(kind))
 	switch kind {
-	case "abilene":
-		n = spef.Abilene()
-	case "cernet2":
-		n = spef.Cernet2()
-	case "fig1":
-		n, d, err = spef.Fig1Example()
-	case "simple":
-		n, d, err = spef.SimpleExample()
 	case "rand":
-		n, err = spef.RandomNetwork(seed, nodes, links)
+		kind = fmt.Sprintf("rand:n=%d,links=%d,seed=%d", nodes, links, seed)
 	case "hier":
-		n, err = spef.HierarchicalNetwork(seed, nodes, clusters, links)
-	default:
-		return fmt.Errorf("unknown -net %q", kind)
+		kind = fmt.Sprintf("hier:n=%d,clusters=%d,links=%d,seed=%d", nodes, clusters, links, seed)
 	}
+	t, err := spef.ResolveTopology(kind)
 	if err != nil {
 		return err
 	}
-	if d == nil && demandKind == "ft" {
-		if d, err = spef.FortzThorupDemands(seed, n); err != nil {
+	n, d := t.Network, t.Demands
+
+	// fig1 and simple carry their own demands; every other topology's
+	// demands come from the requested generator.
+	builtin := kind == "fig1" || kind == "simple"
+	if !builtin || demandSpec == "none" {
+		// The seeded generators default to seed 1; thread the -seed
+		// flag through unless the spec sets its own.
+		spec := strings.TrimSpace(demandSpec)
+		name, _, _ := strings.Cut(spec, ":")
+		if (name == "ft" || name == "gravity") && !strings.Contains(spec, "seed=") {
+			sep := ":"
+			if strings.Contains(spec, ":") {
+				sep = ","
+			}
+			spec = fmt.Sprintf("%s%sseed=%d", spec, sep, seed)
+		}
+		if d, err = spef.ResolveDemands(spec, n); err != nil {
 			return err
 		}
-		if d, err = d.ScaledToLoad(n, load); err != nil {
-			return err
+		if d != nil && load > 0 {
+			if d, err = d.ScaledToLoad(n, load); err != nil {
+				return err
+			}
 		}
 	}
 	return spef.WriteNetworkAndDemands(os.Stdout, n, d)

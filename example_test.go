@@ -110,7 +110,7 @@ func ExampleGrid() {
 		panic(err)
 	}
 	for _, r := range results {
-		fmt.Printf("%s: MLU %.2f\n", r.Scenario, r.MLU)
+		fmt.Printf("%s: MLU %.2f\n", r.Scenario, r.MLU())
 	}
 	// Output:
 	// fig1/InvCap-OSPF: MLU 1.00

@@ -1,8 +1,10 @@
 // Abilene case study: sweep the network load on the Abilene backbone
 // and compare InvCap OSPF, SPEF and the optimal-TE reference — the
-// experiment behind the paper's Figs. 9 and 10(a) — using the Scenario
-// engine: the grid of load x router expands into independent cells that
-// execute concurrently over a bounded worker pool.
+// experiment behind the paper's Figs. 9 and 10(a) — on the declarative
+// Suite surface: topologies and routers named through the registry, the
+// grid of load x router executed concurrently, and each cell's metrics
+// (MLU, utility, utilization percentiles, M/M/1 delay, path stretch)
+// streamed through sinks as it completes.
 package main
 
 import (
@@ -17,36 +19,62 @@ import (
 
 func main() {
 	ctx := context.Background()
-	n := spef.Abilene()
+
+	// The declarative form of the sweep — the same spec `spef suite`
+	// accepts as JSON or flags: one topology, four loads, three routers
+	// -> 12 cells.
+	suite := &spef.Suite{
+		Name:       "abilene-load-sweep",
+		Topologies: []string{"abilene"},
+		Demands:    "ft:seed=1001",
+		Loads:      []float64{0.12, 0.14, 0.16, 0.18},
+		Routers:    []string{"invcap", "spef", "optimal"},
+	}
+
+	// Stream the results: each cell is written the moment it completes
+	// (memory stays O(workers) however large the grid), here into a
+	// JSONL file for diffing across runs and collected for the aligned
+	// table below.
+	seq, err := suite.Stream(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jsonl, err := os.Create("abilene-results.jsonl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer jsonl.Close()
+	sink := spef.NewJSONLSink(jsonl)
+	var results []spef.ScenarioResult
+	for r := range seq {
+		if err := sink.Write(r); err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	if err := sink.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Streamed results arrive in completion order; Index restores the
+	// deterministic batch order for presentation.
+	sort.Slice(results, func(i, j int) bool { return results[i].Index < results[j].Index })
+	if err := spef.WriteResultsTable(os.Stdout, results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote abilene-results.jsonl")
+
+	// Sorted link utilizations at the highest load (Fig. 9 style),
+	// through the uniform Router interface.
+	t, err := spef.ResolveTopology("abilene")
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := t.Network
 	base, err := spef.FortzThorupDemands(1001, n)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// The grid: one topology, four loads, three routers -> 12 cells.
-	grid := spef.Grid{
-		Topologies: []spef.Topology{{Name: "Abilene", Network: n, Demands: base}},
-		Loads:      []float64{0.12, 0.14, 0.16, 0.18},
-		Routers: []spef.Router{
-			spef.OSPF(nil),
-			spef.SPEF(),
-			spef.Optimal(),
-		},
-	}
-	cells, err := grid.Scenarios()
-	if err != nil {
-		log.Fatal(err)
-	}
-	results, err := spef.RunScenarios(ctx, cells, spef.RunOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := spef.WriteResultsTable(os.Stdout, results); err != nil {
-		log.Fatal(err)
-	}
-
-	// Sorted link utilizations at the highest load (Fig. 9 style),
-	// through the uniform Router interface.
 	d, err := base.ScaledToLoad(n, 0.17)
 	if err != nil {
 		log.Fatal(err)

@@ -98,44 +98,11 @@ func fmtVal(v float64) string {
 	}
 }
 
-// seedAbileneTM and friends fix the synthetic-workload seeds so every
-// experiment (and EXPERIMENTS.md) is reproducible.
-const (
-	seedAbileneTM = 1001
-	seedCernetTM  = 1002
-	seedGenericTM = 1003
-)
-
-// networkTM builds the canonical traffic matrix of a Table III network:
-// Fortz-Thorup style demands for Abilene and the generated topologies,
-// gravity for Cernet2 (Section V-B). The paper feeds the Cernet2 gravity
-// model with link-aggregated Netflow loads; our stand-in volumes are
-// each PoP's adjacent capacity jittered log-normally, the same shape
-// (big PoPs attract traffic in proportion to their uplink capacity).
+// networkTM builds the canonical traffic matrix of a Table III network;
+// the seeded construction lives in traffic.CanonicalMatrix so the public
+// topology registry serves the exact same workloads.
 func networkTM(id string, g *graph.Graph) (*traffic.Matrix, error) {
-	switch id {
-	case "Cernet2":
-		jitter := traffic.SyntheticVolumes(seedCernetTM, g.NumNodes(), 0.5)
-		vols := make([]float64, g.NumNodes())
-		for _, l := range g.Links() {
-			vols[l.From] += l.Cap / 2
-			vols[l.To] += l.Cap / 2
-		}
-		for i := range vols {
-			vols[i] *= jitter[i]
-		}
-		hops, err := traffic.HopDistances(g)
-		if err != nil {
-			return nil, err
-		}
-		// Friction scale 2 hops: long-haul pairs are discounted like in
-		// real backbone matrices (and in Fortz-Thorup's generator).
-		return traffic.GravityFriction(vols, hops, 2, g.TotalCapacity())
-	case "Abilene":
-		return traffic.FortzThorup(seedAbileneTM, g.NumNodes(), 1)
-	default:
-		return traffic.FortzThorup(seedGenericTM, g.NumNodes(), 1)
-	}
+	return traffic.CanonicalMatrix(id, g)
 }
 
 // buildSPEF runs the full SPEF pipeline with the experiment's iteration

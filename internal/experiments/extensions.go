@@ -19,14 +19,10 @@ import (
 	"math"
 	"text/tabwriter"
 
-	"repro/internal/graph"
+	spef "repro"
 	"repro/internal/lsa"
-	"repro/internal/mcf"
-	"repro/internal/objective"
 	"repro/internal/routing"
-	"repro/internal/scenario"
 	"repro/internal/topo"
-	"repro/internal/traffic"
 )
 
 // ControlResult reports LSA flooding cost per network.
@@ -109,107 +105,115 @@ type FailureRow struct {
 }
 
 // RunFailure evaluates every single duplex-pair failure on Abilene at
-// load 0.14: OSPF (InvCap reconverges on the surviving topology), SPEF
-// with stale weights (Dijkstra re-run, weights kept), and SPEF fully
-// re-optimized. Failures are independent, so the sweep runs
-// concurrently over Options.Workers workers; rows come back in failure
-// order regardless of worker count.
+// load 0.14 on the public Scenario surface: a single-link-failure Grid
+// comparing OSPF (InvCap reconverges on the surviving topology), SPEF
+// with stale weights (SPEFWithWeights — Dijkstra re-run, intact-
+// topology weights projected onto the survivors), and SPEF fully
+// re-optimized. Failures that disconnect a demand are skipped by the
+// grid expansion, like the paper's protocol would. Cells are
+// independent, so the sweep runs concurrently over Options.Workers
+// workers; rows come back in failure order regardless of worker count.
 func RunFailure(ctx context.Context, opts Options) (*FailureResult, error) {
-	g, err := table3Net("Abilene")
-	if err != nil {
-		return nil, err
-	}
-	base, err := networkTM("Abilene", g)
+	t, err := spef.ResolveTopology("abilene")
 	if err != nil {
 		return nil, err
 	}
 	const load = 0.14
-	tm, err := base.ScaledToLoad(g, load)
+	tm, err := t.Demands.ScaledToLoad(t.Network, load)
 	if err != nil {
 		return nil, err
 	}
-	p, err := buildSPEF(ctx, g, tm, 1, opts)
+	it1, it2 := opts.iters(t.Network.NumNodes())
+	spefOpts := []spef.Option{spef.WithMaxIterations(it1), spef.WithSplitIterations(it2)}
+	p, err := spef.Optimize(ctx, t.Network, tm, spefOpts...)
+	if err != nil {
+		return nil, err
+	}
+	grid := spef.Grid{
+		Topologies: []spef.Topology{{Name: "Abilene", Network: t.Network, Demands: tm}},
+		Routers: []spef.Router{
+			spef.OSPF(nil),
+			spef.Named(routerStale, spef.SPEFWithWeights(p.FirstWeights(), p.SecondWeights())),
+			spef.Named(routerReopt, spef.SPEF(spefOpts...)),
+		},
+		SingleLinkFailures: true,
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the failure variants (the intact cells exist for the
+	// grid's baseline semantics); quick mode trims to the first few
+	// failed links.
+	var failCells []spef.Scenario
+	links := 0
+	lastLink := ""
+	for _, c := range cells {
+		if c.FailedLink == "" {
+			continue
+		}
+		if c.FailedLink != lastLink {
+			lastLink = c.FailedLink
+			links++
+			if opts.Quick && links > 3 {
+				break
+			}
+		}
+		failCells = append(failCells, c)
+	}
+	results, err := spef.RunScenarios(ctx, failCells, spef.RunOptions{
+		Workers: opts.Workers,
+		Metrics: []spef.Metric{spef.MLUMetric(), spef.UtilityMetric()},
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &FailureResult{Load: load}
-	pairs := g.DuplexPairs()
-	if opts.Quick && len(pairs) > 3 {
-		pairs = pairs[:3]
-	}
-	type outcome struct {
-		row  FailureRow
-		skip bool
-		err  error
-	}
-	outcomes := scenario.Run(ctx, len(pairs), opts.Workers,
-		func(ctx context.Context, i int) outcome {
-			pair := pairs[i]
-			g2, keep, err := g.WithoutLinks(pair[:]...)
-			if err != nil {
-				return outcome{err: err}
-			}
-			if ok, err := allReachable(g2, tm); err != nil || !ok {
-				// Failure disconnects a demand: skip like the paper's
-				// protocol would.
-				return outcome{skip: true, err: err}
-			}
-			l := g.Link(pair[0])
-			row := FailureRow{FailedLink: fmt.Sprintf("%s-%s", g.Name(l.From), g.Name(l.To))}
-
-			// OSPF reconverges with InvCap weights on the survivors.
-			ospf, err := routing.BuildOSPF(g2, tm.Destinations(), nil, 0)
-			if err != nil {
-				return outcome{err: err}
-			}
-			oFlow, err := ospf.Flow(tm)
-			if err != nil {
-				return outcome{err: err}
-			}
-			row.OSPFMLU = objective.MLU(g2, oFlow.Total)
-			row.OSPFUtility = objective.LogSpareUtility(g2, oFlow.Total)
-
-			// SPEF with stale weights: every router re-runs Dijkstra over
-			// the surviving links with the configured (old) weights;
-			// splits renormalize over the surviving DAG.
-			w2 := remap(p.W, keep)
-			v2 := remap(p.V, keep)
-			sFlow, err := staleSPEFFlow(g2, tm, w2, v2)
-			if err != nil {
-				return outcome{err: err}
-			}
-			row.StaleMLU = objective.MLU(g2, sFlow.Total)
-			row.StaleUtility = objective.LogSpareUtility(g2, sFlow.Total)
-
-			// Full re-optimization on the surviving topology.
-			p2, err := buildSPEF(ctx, g2, tm, 1, opts)
-			switch {
-			case err == nil:
-				rFlow, err := p2.Flow(tm)
-				if err != nil {
-					return outcome{err: err}
-				}
-				row.ReoptMLU = objective.MLU(g2, rFlow.Total)
-				row.ReoptUtility = objective.LogSpareUtility(g2, rFlow.Total)
-			default:
+	rows := map[string]*FailureRow{}
+	for _, r := range results {
+		row, ok := rows[r.FailedLink]
+		if !ok {
+			row = &FailureRow{FailedLink: r.FailedLink}
+			rows[r.FailedLink] = row
+			res.Rows = append(res.Rows, FailureRow{}) // reserve order slot
+			res.Rows[len(res.Rows)-1].FailedLink = r.FailedLink
+		}
+		switch r.Router {
+		case routerReopt:
+			// Re-optimization may legitimately fail (infeasible load on
+			// the degraded topology): record the sentinel values.
+			if r.Err != nil {
 				row.ReoptMLU = math.NaN()
 				row.ReoptUtility = math.Inf(-1)
+				continue
 			}
-			return outcome{row: row}
-		},
-		func(int) outcome { return outcome{err: ctx.Err()} },
-		nil)
-	for _, o := range outcomes {
-		if o.err != nil {
-			return nil, o.err
+			row.ReoptMLU = r.MLU()
+			row.ReoptUtility = r.Utility()
+		case routerStale:
+			if r.Err != nil {
+				return nil, fmt.Errorf("failure %s (%s): %w", r.FailedLink, r.Router, r.Err)
+			}
+			row.StaleMLU = r.MLU()
+			row.StaleUtility = r.Utility()
+		default:
+			if r.Err != nil {
+				return nil, fmt.Errorf("failure %s (%s): %w", r.FailedLink, r.Router, r.Err)
+			}
+			row.OSPFMLU = r.MLU()
+			row.OSPFUtility = r.Utility()
 		}
-		if o.skip {
-			continue
-		}
-		res.Rows = append(res.Rows, o.row)
+	}
+	for i := range res.Rows {
+		res.Rows[i] = *rows[res.Rows[i].FailedLink]
 	}
 	return res, nil
 }
+
+// Router display names of the failure study's schemes.
+const (
+	routerStale = "stale-SPEF"
+	routerReopt = "reopt-SPEF"
+)
 
 // Format prints the robustness table.
 func (r *FailureResult) Format(w io.Writer) {
@@ -222,57 +226,4 @@ func (r *FailureResult) Format(w io.Writer) {
 			fmtVal(row.OSPFUtility), fmtVal(row.StaleUtility), fmtVal(row.ReoptUtility))
 	}
 	tw.Flush()
-}
-
-// remap projects an old per-link vector onto the surviving links.
-func remap(old []float64, keep []int) []float64 {
-	out := make([]float64, len(keep))
-	for newID, oldID := range keep {
-		out[newID] = old[oldID]
-	}
-	return out
-}
-
-// allReachable checks every demand still has a route.
-func allReachable(g *graph.Graph, tm *traffic.Matrix) (bool, error) {
-	for _, t := range tm.Destinations() {
-		sp, err := graph.DijkstraTo(g, make([]float64, g.NumLinks()), t)
-		if err != nil {
-			return false, err
-		}
-		for s := 0; s < g.NumNodes(); s++ {
-			if tm.At(s, t) > 0 && sp.Dist[s] == graph.Unreachable {
-				return false, nil
-			}
-		}
-	}
-	return true, nil
-}
-
-// staleSPEFFlow evaluates SPEF forwarding with kept weights on a changed
-// topology: fresh Dijkstra DAGs under the stale first weights, stale
-// second weights driving the exponential split.
-func staleSPEFFlow(g *graph.Graph, tm *traffic.Matrix, w, v []float64) (*mcf.Flow, error) {
-	minW := math.Inf(1)
-	for _, x := range w {
-		if x < minW {
-			minW = x
-		}
-	}
-	dests := tm.Destinations()
-	flow := mcf.NewFlow(g, dests)
-	for _, t := range dests {
-		d, err := graph.BuildDAG(g, w, t, 0.3*minW)
-		if err != nil {
-			return nil, err
-		}
-		ratio, _ := graph.ExponentialSplits(g, d, v)
-		ft, err := graph.PropagateDown(g, d, tm.ToDestination(t), ratio)
-		if err != nil {
-			return nil, err
-		}
-		flow.PerDest[t] = ft
-	}
-	flow.RecomputeTotal()
-	return flow, nil
 }

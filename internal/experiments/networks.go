@@ -6,15 +6,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"text/tabwriter"
 
+	spef "repro"
 	"repro/internal/core"
-	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/objective"
 	"repro/internal/routing"
-	"repro/internal/scenario"
-	"repro/internal/topo"
 	"repro/internal/traffic"
 )
 
@@ -31,19 +30,24 @@ type Table3Row struct {
 	Links    int
 }
 
-// RunTable3 regenerates TABLE III.
+// RunTable3 regenerates TABLE III from the public topology registry
+// (the evaluation networks, excluding the worked examples the registry
+// also carries).
 func RunTable3(_ context.Context, _ Options) (*Table3Result, error) {
-	nets, err := topo.Table3Networks()
+	infos, err := spef.RegisteredTopologies()
 	if err != nil {
 		return nil, err
 	}
 	res := &Table3Result{}
-	for _, n := range nets {
+	for _, n := range infos {
+		if n.Class == "Example" {
+			continue
+		}
 		res.Rows = append(res.Rows, Table3Row{
 			ID:       n.ID,
-			Topology: n.Topology,
-			Nodes:    n.G.NumNodes(),
-			Links:    n.G.NumLinks(),
+			Topology: n.Class,
+			Nodes:    n.Nodes,
+			Links:    n.Links,
 		})
 	}
 	return res, nil
@@ -150,8 +154,11 @@ type Fig10Result struct {
 	Order []string
 }
 
-// RunFig10 regenerates every panel of Fig. 10, sweeping the
-// (network, load) grid concurrently over Options.Workers workers. With
+// RunFig10 regenerates every panel of Fig. 10 on the public Scenario
+// surface: each network's load sweep expands through a Grid (the same
+// declarative spec `spef suite` runs; see EXPERIMENTS.md) and every
+// (network, load, router) cell executes concurrently over
+// Options.Workers workers with order-independent results. With
 // opts.Quick only Abilene and Cernet2 are swept (the tests' fast path).
 func RunFig10(ctx context.Context, opts Options) (*Fig10Result, error) {
 	ids := []string{"Abilene", "Cernet2", "Hier50a", "Hier50b", "Rand50a", "Rand50b", "Rand100"}
@@ -160,31 +167,11 @@ func RunFig10(ctx context.Context, opts Options) (*Fig10Result, error) {
 	}
 	res := &Fig10Result{Panels: make(map[string][]Series), Order: ids}
 
-	// Expand the (network, load) grid up front so every cell runs
-	// independently on the worker pool; results are collected by cell
-	// index, keeping the output identical for any worker count.
-	type cell struct {
-		id   string
-		g    *graph.Graph
-		ospf *routing.OSPF
-		base *traffic.Matrix
-		load float64
-	}
-	type outcome struct {
-		ospfU, spefU float64
-		err          error
-	}
-	var cells []cell
+	// One Grid per network (each panel sweeps its own load range), all
+	// cells pooled into a single run so the worker pool spans networks.
+	var cells []spef.Scenario
 	for _, id := range ids {
-		g, err := table3Net(id)
-		if err != nil {
-			return nil, err
-		}
-		base, err := networkTM(id, g)
-		if err != nil {
-			return nil, err
-		}
-		ospf, err := routing.BuildOSPF(g, base.Destinations(), nil, 0)
+		t, err := spef.ResolveTopology(strings.ToLower(id))
 		if err != nil {
 			return nil, err
 		}
@@ -193,51 +180,46 @@ func RunFig10(ctx context.Context, opts Options) (*Fig10Result, error) {
 			loads = loads[:3]
 		}
 		res.Panels[id] = []Series{{Name: "OSPF", X: loads}, {Name: "SPEF", X: loads}}
-		for _, load := range loads {
-			cells = append(cells, cell{id: id, g: g, ospf: ospf, base: base, load: load})
+		it1, it2 := opts.iters(t.Network.NumNodes())
+		grid := spef.Grid{
+			Topologies: []spef.Topology{t},
+			Loads:      loads,
+			Routers: []spef.Router{
+				spef.OSPF(nil),
+				spef.SPEF(spef.WithMaxIterations(it1), spef.WithSplitIterations(it2)),
+			},
 		}
+		gc, err := grid.Scenarios()
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, gc...)
 	}
-	outcomes := scenario.Run(ctx, len(cells), opts.Workers,
-		func(ctx context.Context, i int) outcome {
-			c := cells[i]
-			tm, err := c.base.ScaledToLoad(c.g, c.load)
-			if err != nil {
-				return outcome{err: err}
+	results, err := spef.RunScenarios(ctx, cells, spef.RunOptions{
+		Workers: opts.Workers,
+		Metrics: []spef.Metric{spef.UtilityMetric()},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		u := r.Utility()
+		if r.Err != nil {
+			if !errors.Is(r.Err, mcf.ErrInfeasible) {
+				return nil, fmt.Errorf("fig10 %s: %w", r.Scenario, r.Err)
 			}
-			oFlow, err := c.ospf.Flow(tm)
-			if err != nil {
-				return outcome{err: err}
-			}
-			out := outcome{ospfU: objective.LogSpareUtility(c.g, oFlow.Total)}
-			p, err := buildSPEF(ctx, c.g, tm, 1, opts)
-			switch {
-			case errors.Is(err, mcf.ErrInfeasible):
-				// The load exceeds what any routing can carry (the paper
-				// stops its sweeps where SPEF's MLU reaches 100%).
-				out.spefU = math.Inf(-1)
-				return out
-			case err != nil:
-				out.err = fmt.Errorf("fig10 %s load %g: %w", c.id, c.load, err)
-				return out
-			}
-			sFlow, err := p.Flow(tm)
-			if err != nil {
-				out.err = err
-				return out
-			}
-			out.spefU = objective.LogSpareUtility(c.g, sFlow.Total)
-			return out
-		},
-		func(int) outcome { return outcome{err: ctx.Err()} },
-		nil)
-	for i, c := range cells {
-		o := outcomes[i]
-		if o.err != nil {
-			return nil, o.err
+			// The load exceeds what any routing can carry (the paper
+			// stops its sweeps where SPEF's MLU reaches 100%).
+			u = math.Inf(-1)
 		}
-		panel := res.Panels[c.id]
-		panel[0].Y = append(panel[0].Y, o.ospfU)
-		panel[1].Y = append(panel[1].Y, o.spefU)
+		panel := res.Panels[r.Topology]
+		// Cells expand loads-outer, routers-inner, so appending in
+		// result order fills each curve in load order.
+		if r.Router == "InvCap-OSPF" {
+			panel[0].Y = append(panel[0].Y, u)
+		} else {
+			panel[1].Y = append(panel[1].Y, u)
+		}
 	}
 	return res, nil
 }

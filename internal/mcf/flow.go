@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/traffic"
@@ -54,13 +55,23 @@ func (f *Flow) Clone() *Flow {
 	return c
 }
 
-// RecomputeTotal rebuilds Total from the per-destination flows.
+// RecomputeTotal rebuilds Total from the per-destination flows. The
+// commodities are accumulated in destination order, not map order:
+// float addition is not associative, so a map-ordered sum would make
+// bitwise results vary run to run, breaking the scenario engine's
+// reproducibility contract (identical bits for any worker count AND
+// across processes).
 func (f *Flow) RecomputeTotal() {
 	for i := range f.Total {
 		f.Total[i] = 0
 	}
-	for _, v := range f.PerDest {
-		for i, x := range v {
+	dests := make([]int, 0, len(f.PerDest))
+	for t := range f.PerDest {
+		dests = append(dests, t)
+	}
+	sort.Ints(dests)
+	for _, t := range dests {
+		for i, x := range f.PerDest[t] {
 			f.Total[i] += x
 		}
 	}

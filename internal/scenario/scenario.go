@@ -1,8 +1,9 @@
 // Package scenario provides the bounded worker pool under the public
-// Scenario/Runner batch engine: it executes N independent jobs over a
-// fixed number of goroutines and collects results by job index, so the
-// output is deterministic and independent of worker count and of the
-// order in which workers happen to finish.
+// Scenario engine: it executes N independent jobs over a fixed number
+// of goroutines and delivers results either as they complete (Stream —
+// the O(workers)-memory path behind the public streaming API) or
+// collected by job index (Run — deterministic output independent of
+// worker count and of the order in which workers happen to finish).
 package scenario
 
 import (
@@ -11,32 +12,27 @@ import (
 	"sync"
 )
 
-// Run executes jobs 0..n-1 over at most workers goroutines and returns
-// the per-job results indexed by job number. workers <= 0 selects
-// GOMAXPROCS. job receives the (possibly canceled) ctx; once ctx is
-// done, unstarted jobs are skipped and their results are produced by
-// canceled, so every slot of the returned slice is filled either way.
-// done, when non-nil, is called after every job completes (serialized;
-// completed counts both run and skipped jobs).
-func Run[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) T, canceled func(i int) T, done func(completed, total int)) []T {
+// Stream executes jobs 0..n-1 over at most workers goroutines and calls
+// emit(i, result) once per job as it completes, in completion order.
+// emit calls are serialized (never concurrent), so emit may write to
+// shared state without locking. workers <= 0 selects GOMAXPROCS. job
+// receives the (possibly canceled) ctx; once ctx is done, unstarted
+// jobs are skipped and their results are produced by canceled, so emit
+// is called exactly n times either way. Stream returns only after every
+// job has been emitted.
+func Stream[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) T, canceled func(i int) T, emit func(i int, r T)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
-	results := make([]T, n)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	completed := 0
-	finish := func(i int, r T) {
+	deliver := func(i int, r T) {
 		mu.Lock()
-		results[i] = r
-		completed++
-		if done != nil {
-			done(completed, n)
-		}
+		emit(i, r)
 		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
@@ -45,10 +41,10 @@ func Run[T any](ctx context.Context, n, workers int, job func(ctx context.Contex
 			defer wg.Done()
 			for i := range jobs {
 				if ctx.Err() != nil {
-					finish(i, canceled(i))
+					deliver(i, canceled(i))
 					continue
 				}
-				finish(i, job(ctx, i))
+				deliver(i, job(ctx, i))
 			}
 		}()
 	}
@@ -57,5 +53,21 @@ func Run[T any](ctx context.Context, n, workers int, job func(ctx context.Contex
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// Run executes jobs 0..n-1 over at most workers goroutines and returns
+// the per-job results indexed by job number — the deterministic batch
+// form of Stream. done, when non-nil, is called after every job
+// completes (serialized; completed counts both run and skipped jobs).
+func Run[T any](ctx context.Context, n, workers int, job func(ctx context.Context, i int) T, canceled func(i int) T, done func(completed, total int)) []T {
+	results := make([]T, n)
+	completed := 0
+	Stream(ctx, n, workers, job, canceled, func(i int, r T) {
+		results[i] = r
+		completed++
+		if done != nil {
+			done(completed, n)
+		}
+	})
 	return results
 }

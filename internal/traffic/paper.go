@@ -1,0 +1,48 @@
+package traffic
+
+import "repro/internal/graph"
+
+// Canonical workload seeds. Fixed so every consumer of the canonical
+// matrices — the experiment harness, the public topology registry, and
+// EXPERIMENTS.md's recorded numbers — sees the same reproducible
+// demand sets.
+const (
+	SeedAbileneTM = 1001
+	SeedCernetTM  = 1002
+	SeedGenericTM = 1003
+)
+
+// CanonicalMatrix builds the canonical traffic matrix of a Table III
+// evaluation network: Fortz-Thorup style demands for Abilene and the
+// generated topologies, gravity for Cernet2 (paper Section V-B). The
+// paper feeds the Cernet2 gravity model with link-aggregated Netflow
+// loads; our stand-in volumes are each PoP's adjacent capacity jittered
+// log-normally, the same shape (big PoPs attract traffic in proportion
+// to their uplink capacity). ids are the Table III network IDs
+// ("Abilene", "Cernet2", ...); unknown ids get the generic
+// Fortz-Thorup workload.
+func CanonicalMatrix(id string, g *graph.Graph) (*Matrix, error) {
+	switch id {
+	case "Cernet2":
+		jitter := SyntheticVolumes(SeedCernetTM, g.NumNodes(), 0.5)
+		vols := make([]float64, g.NumNodes())
+		for _, l := range g.Links() {
+			vols[l.From] += l.Cap / 2
+			vols[l.To] += l.Cap / 2
+		}
+		for i := range vols {
+			vols[i] *= jitter[i]
+		}
+		hops, err := HopDistances(g)
+		if err != nil {
+			return nil, err
+		}
+		// Friction scale 2 hops: long-haul pairs are discounted like in
+		// real backbone matrices (and in Fortz-Thorup's generator).
+		return GravityFriction(vols, hops, 2, g.TotalCapacity())
+	case "Abilene":
+		return FortzThorup(SeedAbileneTM, g.NumNodes(), 1)
+	default:
+		return FortzThorup(SeedGenericTM, g.NumNodes(), 1)
+	}
+}

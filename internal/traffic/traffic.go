@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -21,9 +22,65 @@ type Demand struct {
 
 // Matrix is a dense n-by-n traffic matrix; entry (s,t) is the average
 // offered volume from s to t. The diagonal is always zero.
+//
+// Matrix values must not be copied; always pass *Matrix.
 type Matrix struct {
 	n int
 	d []float64 // row-major n*n
+	// fp caches the matrix fingerprint (see Fingerprint). Mutators clear
+	// it; concurrent readers may race to recompute it, which is safe
+	// because the computation is deterministic and the store is atomic.
+	fp atomic.Pointer[Fingerprint]
+}
+
+// Fingerprint is an O(n) summary of a matrix: the aggregate volume plus
+// the per-destination column sums. Two matrices whose fingerprints
+// differ (beyond element-wise float tolerance) cannot carry the same
+// volumes, which makes the fingerprint a cheap negative filter in front
+// of the exact O(n^2) comparison.
+type Fingerprint struct {
+	Total   float64
+	PerDest []float64
+}
+
+// Fingerprint returns the matrix's cached fingerprint, computing it on
+// first use after any mutation. Safe for concurrent use (the usual
+// contract applies: no concurrent mutation).
+func (m *Matrix) Fingerprint() *Fingerprint {
+	if fp := m.fp.Load(); fp != nil {
+		return fp
+	}
+	fp := &Fingerprint{PerDest: make([]float64, m.n)}
+	for s := 0; s < m.n; s++ {
+		row := m.d[s*m.n : (s+1)*m.n]
+		for t, v := range row {
+			fp.PerDest[t] += v
+			fp.Total += v
+		}
+	}
+	m.fp.Store(fp)
+	return fp
+}
+
+// Matches reports whether the fingerprints could belong to equal
+// matrices under the element-wise relative tolerance tol: a false
+// result guarantees some pair of entries differs by more than tol.
+// Volumes are non-negative, so each aggregate's worst-case drift is tol
+// times the sum of the two aggregates being compared.
+func (fp *Fingerprint) Matches(o *Fingerprint, tol float64) bool {
+	if len(fp.PerDest) != len(o.PerDest) {
+		return false
+	}
+	if math.Abs(fp.Total-o.Total) > tol*(fp.Total+o.Total) {
+		return false
+	}
+	for t := range fp.PerDest {
+		a, b := fp.PerDest[t], o.PerDest[t]
+		if math.Abs(a-b) > tol*(a+b) {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrBadDemand reports an invalid demand entry.
@@ -58,6 +115,7 @@ func (m *Matrix) Set(s, t int, v float64) error {
 		return err
 	}
 	m.d[s*m.n+t] = v
+	m.fp.Store(nil)
 	return nil
 }
 
@@ -67,6 +125,7 @@ func (m *Matrix) Add(s, t int, v float64) error {
 		return err
 	}
 	m.d[s*m.n+t] += v
+	m.fp.Store(nil)
 	return nil
 }
 
@@ -137,6 +196,7 @@ func (m *Matrix) Scale(factor float64) error {
 	for i := range m.d {
 		m.d[i] *= factor
 	}
+	m.fp.Store(nil)
 	return nil
 }
 

@@ -249,3 +249,78 @@ func TestSyntheticVolumesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintCachesAndInvalidates(t *testing.T) {
+	m := NewMatrix(4)
+	if err := m.Set(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Set(2, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Fingerprint()
+	if fp.Total != 5 || fp.PerDest[1] != 5 || fp.PerDest[0] != 0 {
+		t.Fatalf("fingerprint = %+v", fp)
+	}
+	if m.Fingerprint() != fp {
+		t.Error("fingerprint not cached across calls")
+	}
+	// Every mutator invalidates the cache.
+	if err := m.Add(0, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fingerprint(); got == fp || got.Total != 6 || got.PerDest[3] != 1 {
+		t.Fatalf("post-Add fingerprint = %+v (cached: %v)", got, got == fp)
+	}
+	fp = m.Fingerprint()
+	if err := m.Scale(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fingerprint(); got == fp || got.Total != 12 {
+		t.Fatalf("post-Scale fingerprint = %+v", got)
+	}
+	fp = m.Fingerprint()
+	if err := m.Set(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fingerprint(); got == fp || got.Total != 8 {
+		t.Fatalf("post-Set fingerprint = %+v", got)
+	}
+}
+
+func TestFingerprintMatches(t *testing.T) {
+	a := NewMatrix(3)
+	b := NewMatrix(3)
+	for _, set := range [][3]float64{{0, 1, 2.5}, {1, 2, 1.25}, {2, 0, 3}} {
+		if err := a.Set(int(set[0]), int(set[1]), set[2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Set(int(set[0]), int(set[1]), set[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !a.Fingerprint().Matches(b.Fingerprint(), 1e-12) {
+		t.Error("identical matrices do not match")
+	}
+	// A perturbation far above the tolerance must be rejected.
+	if err := b.Add(0, 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint().Matches(b.Fingerprint(), 1e-12) {
+		t.Error("perturbed matrix still matches")
+	}
+	// Different sizes never match.
+	c := NewMatrix(4)
+	if a.Fingerprint().Matches(c.Fingerprint(), 1e-12) {
+		t.Error("different-size matrices match")
+	}
+	// Tiny relative drift within tolerance still matches (the exact
+	// scan, not the fingerprint, decides borderline cases).
+	d := a.Clone()
+	if err := d.Scale(1 + 1e-15); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fingerprint().Matches(d.Fingerprint(), 1e-12) {
+		t.Error("within-tolerance drift rejected by fingerprint")
+	}
+}

@@ -1,0 +1,328 @@
+package spef
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/topo"
+	"repro/internal/traffic"
+)
+
+// This file is the topology and demand registry: the string-addressable
+// catalog Suite specs, cmd/spef suite and cmd/topogen resolve networks
+// and workloads through. Topology specs are either registered names
+// ("abilene", "cernet2", "fig1", "simple", "hier50a", "hier50b",
+// "rand50a", "rand50b", "rand100" — the paper's Table III set plus the
+// worked examples) or parameterized generators
+// ("rand:n=50,links=242,seed=1", "hier:n=50,clusters=5,links=222,seed=1").
+// Demand specs name a generator with optional parameters ("ft:seed=7",
+// "gravity:seed=1,sigma=0.5", "uniform:v=2", "none").
+
+// TopologyInfo describes one registered named topology.
+type TopologyInfo struct {
+	// Name is the registry spec ("abilene").
+	Name string
+	// ID is the canonical display ID ("Abilene" — Table III's network
+	// ID, also the default Topology.Name of ResolveTopology).
+	ID string
+	// Class is the paper's topology class: "Backbone", "2-level",
+	// "Random", or "Example".
+	Class string
+	// Nodes and Links count the topology's nodes and directed links.
+	Nodes, Links int
+}
+
+// RegisteredTopologies lists every named topology in the registry: the
+// paper's Table III evaluation set followed by the two worked examples.
+func RegisteredTopologies() ([]TopologyInfo, error) {
+	nets, err := topo.Table3Networks()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TopologyInfo, 0, len(nets)+2)
+	for _, n := range nets {
+		out = append(out, TopologyInfo{
+			Name:  strings.ToLower(n.ID),
+			ID:    n.ID,
+			Class: n.Topology,
+			Nodes: n.G.NumNodes(),
+			Links: n.G.NumLinks(),
+		})
+	}
+	for _, ex := range []struct {
+		name, id string
+		nodes    func() (*Network, *Demands, error)
+	}{
+		{name: "fig1", id: "Fig1", nodes: Fig1Example},
+		{name: "simple", id: "Simple", nodes: SimpleExample},
+	} {
+		n, _, err := ex.nodes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TopologyInfo{
+			Name:  ex.name,
+			ID:    ex.id,
+			Class: "Example",
+			Nodes: n.NumNodes(),
+			Links: n.NumLinks(),
+		})
+	}
+	return out, nil
+}
+
+// ResolveTopology resolves a topology spec into a named Topology with
+// its canonical base demands: the paper's synthetic workload for the
+// Table III networks (Fortz-Thorup for Abilene and the generated
+// topologies, capacity-weighted gravity for Cernet2), the built-in
+// demands for fig1 and simple, and generic Fortz-Thorup demands for
+// parameterized generators. Override the demands via ResolveDemands
+// when a different workload is wanted.
+func ResolveTopology(spec string) (Topology, error) {
+	return resolveTopology(spec, true)
+}
+
+// resolveTopology optionally skips the canonical-demand construction
+// (an O(n^2) synthetic-matrix build per topology) for callers that
+// immediately override the demands, like a Suite with a Demands spec.
+// The fig1/simple built-ins are always attached: they are the
+// topology's defining workload and cost nothing.
+func resolveTopology(spec string, withDemands bool) (Topology, error) {
+	name, params, err := parseSpec(spec)
+	if err != nil {
+		return Topology{}, err
+	}
+	switch name {
+	case "fig1":
+		return builtinExample(name, params, Fig1Example)
+	case "simple":
+		return builtinExample(name, params, SimpleExample)
+	case "rand":
+		if err := onlyParams(spec, params, "n", "links", "seed"); err != nil {
+			return Topology{}, err
+		}
+		seed, nodes, links, err := genParams(params, 242)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := RandomNetwork(seed, nodes, links)
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	case "hier":
+		if err := onlyParams(spec, params, "n", "clusters", "links", "seed"); err != nil {
+			return Topology{}, err
+		}
+		seed, nodes, links, err := genParams(params, 222)
+		if err != nil {
+			return Topology{}, err
+		}
+		clusters, err := intParam(params, "clusters", 5)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := HierarchicalNetwork(seed, nodes, int(clusters), links)
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	}
+	if err := onlyParams(spec, params); err != nil {
+		return Topology{}, err
+	}
+	nets, err := topo.Table3Networks()
+	if err != nil {
+		return Topology{}, err
+	}
+	for _, net := range nets {
+		if strings.EqualFold(net.ID, name) {
+			return canonicalTopology(net.ID, net.ID, &Network{g: net.G}, withDemands)
+		}
+	}
+	return Topology{}, fmt.Errorf("%w: unknown topology %q (known: %s)", ErrBadInput, spec, knownTopologies())
+}
+
+func builtinExample(name string, params map[string]string, build func() (*Network, *Demands, error)) (Topology, error) {
+	if err := onlyParams(name, params); err != nil {
+		return Topology{}, err
+	}
+	n, d, err := build()
+	if err != nil {
+		return Topology{}, err
+	}
+	return Topology{Name: name, Network: n, Demands: d}, nil
+}
+
+// canonicalTopology attaches the canonical synthetic workload to a
+// resolved network. canonicalID selects the Table III workload ("" uses
+// the generic one); withDemands false skips the matrix build.
+func canonicalTopology(name, canonicalID string, n *Network, withDemands bool) (Topology, error) {
+	t := Topology{Name: name, Network: n}
+	if !withDemands {
+		return t, nil
+	}
+	m, err := traffic.CanonicalMatrix(canonicalID, n.g)
+	if err != nil {
+		return Topology{}, err
+	}
+	t.Demands = &Demands{m: m}
+	return t, nil
+}
+
+func knownTopologies() string {
+	infos, err := RegisteredTopologies()
+	if err != nil {
+		return "rand:..., hier:..."
+	}
+	names := make([]string, 0, len(infos)+2)
+	for _, i := range infos {
+		names = append(names, i.Name)
+	}
+	sort.Strings(names)
+	return strings.Join(append(names, "rand:...", "hier:..."), ", ")
+}
+
+// ResolveDemands resolves a demand-generator spec for the network:
+//
+//   - "ft" / "ft:seed=N" — Fortz-Thorup synthetic demands
+//   - "gravity" / "gravity:seed=N,sigma=S" — gravity model over
+//     log-normal synthetic per-node volumes, normalized to the total
+//     network capacity
+//   - "uniform" / "uniform:v=V" — volume V between every ordered pair
+//   - "none" — no demands (nil)
+//
+// Absolute scale is irrelevant for sweep use: the Grid's Loads axis
+// rescales to target network loads.
+func ResolveDemands(spec string, n *Network) (*Demands, error) {
+	name, params, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "none", "":
+		if err := onlyParams(spec, params); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case "ft":
+		if err := onlyParams(spec, params, "seed"); err != nil {
+			return nil, err
+		}
+		seed, err := intParam(params, "seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		return FortzThorupDemands(seed, n)
+	case "gravity":
+		if err := onlyParams(spec, params, "seed", "sigma"); err != nil {
+			return nil, err
+		}
+		seed, err := intParam(params, "seed", 1)
+		if err != nil {
+			return nil, err
+		}
+		sigma, err := floatParam(params, "sigma", 0.5)
+		if err != nil {
+			return nil, err
+		}
+		vols := traffic.SyntheticVolumes(seed, n.NumNodes(), sigma)
+		return GravityDemands(n, vols, n.TotalCapacity())
+	case "uniform":
+		if err := onlyParams(spec, params, "v"); err != nil {
+			return nil, err
+		}
+		v, err := floatParam(params, "v", 1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := traffic.UniformMesh(n.NumNodes(), v)
+		if err != nil {
+			return nil, err
+		}
+		return &Demands{m: m}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown demand generator %q (known: ft, gravity, uniform, none)", ErrBadInput, spec)
+}
+
+// parseSpec splits "name:key=val,key=val" into its name and parameters.
+func parseSpec(spec string) (string, map[string]string, error) {
+	name, rest, has := strings.Cut(strings.TrimSpace(spec), ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	params := map[string]string{}
+	if !has {
+		return name, params, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(k) == "" {
+			return "", nil, fmt.Errorf("%w: malformed parameter %q in spec %q (want key=value)", ErrBadInput, kv, spec)
+		}
+		params[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return name, params, nil
+}
+
+// onlyParams rejects unknown spec parameters so typos fail loudly.
+func onlyParams(spec string, params map[string]string, allowed ...string) error {
+	for k := range params {
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: unknown parameter %q in spec %q (allowed: %v)", ErrBadInput, k, spec, allowed)
+		}
+	}
+	return nil
+}
+
+// genParams reads the shared generator parameters (seed, n, links).
+func genParams(params map[string]string, defLinks int64) (seed int64, nodes, links int, err error) {
+	seed, err = intParam(params, "seed", 1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	n, err := intParam(params, "n", 50)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	l, err := intParam(params, "links", defLinks)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return seed, int(n), int(l), nil
+}
+
+func intParam(params map[string]string, key string, def int64) (int64, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: parameter %s=%q is not an integer", ErrBadInput, key, v)
+	}
+	return n, nil
+}
+
+func floatParam(params map[string]string, key string, def float64) (float64, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: parameter %s=%q is not a number", ErrBadInput, key, v)
+	}
+	return f, nil
+}

@@ -265,6 +265,70 @@ func (r peftRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes
 	return &Routes{router: r.Name(), net: n, dags: p.DAGs, splits: p.Splits}, nil
 }
 
+// SPEFWithWeights returns SPEF forwarding under fixed, precomputed
+// weights: first (the shortest-path weights) and second (the
+// exponential-split weights), both indexed by link ID. No optimization
+// runs — every router re-runs Dijkstra under the given first weights
+// and splits by the exponential rule under the given second weights.
+// This is the deployed state of a SPEF network between events: in a
+// failure grid it models the stale-weight window between a link failure
+// and re-optimization (routers reconverge on the survivors, weights
+// stay), the robustness study of the paper's conclusion. The grid
+// projects both vectors onto each failure variant's surviving links.
+func SPEFWithWeights(first, second []float64) Router {
+	return spefWeightsRouter{
+		w: append([]float64(nil), first...),
+		v: append([]float64(nil), second...),
+	}
+}
+
+type spefWeightsRouter struct{ w, v []float64 }
+
+func (r spefWeightsRouter) Name() string { return routerNameSPEF + "-fixed" }
+
+func (r spefWeightsRouter) reindexLinks(keep []int) Router {
+	w := remapLinkVector(r.w, keep)
+	v := remapLinkVector(r.v, keep)
+	if w == nil || v == nil {
+		return r // let Routes report the length mismatch
+	}
+	return spefWeightsRouter{w: w, v: v}
+}
+
+func (r spefWeightsRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("spef: fixed-weight routes canceled: %w", err)
+	}
+	if len(r.w) != n.NumLinks() || len(r.v) != n.NumLinks() {
+		return nil, fmt.Errorf("%w: got %d first and %d second weights for %d links",
+			ErrBadInput, len(r.w), len(r.v), n.NumLinks())
+	}
+	// The paper's Dijkstra tolerance: 0.3 in the weight space normalized
+	// to the smallest weight (the same rule Optimize applies).
+	minW := math.Inf(1)
+	for _, x := range r.w {
+		if x < minW {
+			minW = x
+		}
+	}
+	tol := 0.3 * minW
+	if math.IsInf(tol, 0) || math.IsNaN(tol) || tol < 0 {
+		tol = 0
+	}
+	dags := make(map[int]*graph.DAG)
+	splits := make(map[int][]float64)
+	for _, t := range d.m.Destinations() {
+		dag, err := graph.BuildDAG(n.g, r.w, t, tol)
+		if err != nil {
+			return nil, err
+		}
+		ratio, _ := graph.ExponentialSplits(n.g, dag, r.v)
+		dags[t] = dag
+		splits[t] = ratio
+	}
+	return &Routes{router: r.Name(), net: n, dags: dags, splits: splits}, nil
+}
+
 // Optimal returns the optimal-TE reference as a Router: the
 // Frank-Wolfe continuation solver minimizing the options' (q, beta)
 // objective over the multi-commodity flow polytope, with no protocol
@@ -430,12 +494,27 @@ func (r *Routes) Simulate(d *Demands, cfg SimulationConfig) (*SimulationReport, 
 	return simulateSplits(r.net, d, r.splits, cfg)
 }
 
-// equals reports whether two demand sets carry the same volumes.
+// equals reports whether two demand sets carry the same volumes. The
+// cached O(n) fingerprint (total + per-destination sums) is checked
+// first: a mismatch proves inequality without touching the n^2 entries,
+// which is the common case on the optimal-routes guard (every scenario
+// cell evaluates against a different load-scaled matrix). Only a
+// fingerprint match falls through to the exact scan.
 func (d *Demands) equals(o *Demands) bool {
 	if d == nil || o == nil {
 		return d == o
 	}
 	if d.m.Size() != o.m.Size() {
+		return false
+	}
+	if d.m == o.m {
+		return true
+	}
+	// The element-wise scan below tolerates relative error 1e-12; with
+	// non-negative volumes the induced aggregate drift is bounded by
+	// 1e-12 times the sum of the two aggregates, which is exactly what
+	// Fingerprint.Matches checks — so a mismatch here is conclusive.
+	if !d.m.Fingerprint().Matches(o.m.Fingerprint(), 1e-12) {
 		return false
 	}
 	for s := 0; s < d.m.Size(); s++ {

@@ -2,10 +2,10 @@ package spef
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"io"
+	"iter"
 	"math"
-	"text/tabwriter"
 	"time"
 
 	"repro/internal/graph"
@@ -42,23 +42,53 @@ type Scenario struct {
 	FailedLink string
 }
 
-// ScenarioResult is one structured result row of a scenario run.
+// ScenarioResult is one structured result row of a scenario run: the
+// cell's identity plus every configured metric, computed once and
+// carried as an ordered map so sinks (JSONL, CSV, table) render
+// uniformly.
 type ScenarioResult struct {
+	// Index is the cell's position in the scenario slice. Streamed
+	// results arrive in completion order; sorting by Index restores the
+	// deterministic batch order.
+	Index int
 	// Scenario, Topology, Router, Load and FailedLink echo the cell.
 	Scenario   string
 	Topology   string
 	Router     string
 	Load       float64
 	FailedLink string
-	// MLU and Utility summarize the routing outcome (valid when Err is
-	// nil).
-	MLU     float64
-	Utility float64
+	// MetricNames lists the computed metrics in configuration order;
+	// Metrics maps each name to its value (valid when Err is nil).
+	MetricNames []string
+	Metrics     map[string]float64
 	// Runtime is the cell's wall-clock execution time.
 	Runtime time.Duration
 	// Err records a failed cell (optimization error, canceled context,
-	// unroutable demands); the run continues past failed cells.
-	Err error
+	// unroutable demands); the run continues past failed cells. Error
+	// is its serializable string form — the representation sinks
+	// persist, so results deserialize without Go error values.
+	Err   error
+	Error string
+}
+
+// Metric returns the named metric's value and whether it was computed.
+func (r ScenarioResult) Metric(name string) (float64, bool) {
+	v, ok := r.Metrics[name]
+	return v, ok
+}
+
+// MLU returns the "mlu" metric, or NaN when it was not computed.
+func (r ScenarioResult) MLU() float64 { return r.metricOrNaN(MetricMLU) }
+
+// Utility returns the "utility" metric, or NaN when it was not
+// computed.
+func (r ScenarioResult) Utility() float64 { return r.metricOrNaN(MetricUtility) }
+
+func (r ScenarioResult) metricOrNaN(name string) float64 {
+	if v, ok := r.Metrics[name]; ok {
+		return v
+	}
+	return math.NaN()
 }
 
 // Grid declares a comparison sweep: every combination of topology ×
@@ -241,39 +271,101 @@ func demandsRoutable(n *Network, d *Demands) (bool, error) {
 	return true, nil
 }
 
-// RunOptions tunes RunScenarios.
+// RunOptions tunes RunScenarios and StreamScenarios.
 type RunOptions struct {
 	// Workers bounds the number of concurrently executing cells
-	// (<= 0 selects GOMAXPROCS). Results are identical for any worker
-	// count: every cell computes independently and results are
-	// collected by cell index.
+	// (<= 0 selects GOMAXPROCS). Batch results are identical for any
+	// worker count: every cell computes independently and results are
+	// collected by cell index. Streamed results arrive in completion
+	// order but carry Index for deterministic reordering.
 	Workers int
+	// Metrics lists the metrics computed per cell (nil selects
+	// DefaultMetrics). Order is preserved in results and sinks.
+	Metrics []Metric
 	// Progress, when non-nil, is called after every completed cell with
 	// the completed and total counts. Calls are serialized.
 	Progress func(completed, total int)
 }
 
+func (o RunOptions) metrics() []Metric {
+	if o.Metrics == nil {
+		return DefaultMetrics()
+	}
+	return o.Metrics
+}
+
 // RunScenarios executes every scenario over a bounded worker pool and
 // returns one result per scenario, in scenario order regardless of
-// completion order or worker count. Per-cell failures are recorded in
-// ScenarioResult.Err and do not stop the run. Cancelling ctx stops
-// starting new cells and marks unstarted ones with the context's
-// error; RunScenarios then returns that error alongside the partial
-// results.
+// completion order or worker count — the deterministic batch path.
+// Per-cell failures are recorded in ScenarioResult.Err and do not stop
+// the run. Cancelling ctx stops starting new cells and marks unstarted
+// ones with the context's error; RunScenarios then returns that error
+// alongside the partial results.
 func RunScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) ([]ScenarioResult, error) {
+	metrics := opts.metrics()
 	results := scenario.Run(ctx, len(scenarios), opts.Workers,
-		func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, scenarios[i]) },
+		func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, i, scenarios[i], metrics) },
 		func(i int) ScenarioResult {
-			r := resultShell(scenarios[i])
-			r.Err = ctx.Err()
+			r := resultShell(i, scenarios[i])
+			r.setErr(ctx.Err())
 			return r
 		},
 		opts.Progress)
 	return results, ctx.Err()
 }
 
-func resultShell(s Scenario) ScenarioResult {
+// StreamScenarios executes the scenarios like RunScenarios but emits
+// each cell's result as it completes instead of buffering the full
+// slice: memory stays O(workers) regardless of grid size, which is what
+// makes failure grids with thousands of cells persistable through a
+// Sink. Results arrive in completion order; sort by Index to recover
+// the batch order (values are bit-identical to RunScenarios' for any
+// worker count). Breaking out of the iteration cancels the remaining
+// cells. After a ctx cancellation, unstarted cells are emitted with the
+// context's error, mirroring the batch path.
+func StreamScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) iter.Seq[ScenarioResult] {
+	metrics := opts.metrics()
+	return func(yield func(ScenarioResult) bool) {
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := make(chan struct{})
+		ch := make(chan ScenarioResult)
+		go func() {
+			defer close(ch)
+			completed := 0
+			scenario.Stream(sctx, len(scenarios), opts.Workers,
+				func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, i, scenarios[i], metrics) },
+				func(i int) ScenarioResult {
+					r := resultShell(i, scenarios[i])
+					r.setErr(sctx.Err())
+					return r
+				},
+				func(i int, r ScenarioResult) {
+					completed++
+					if opts.Progress != nil {
+						opts.Progress(completed, len(scenarios))
+					}
+					select {
+					case ch <- r:
+					case <-stop:
+					}
+				})
+		}()
+		for r := range ch {
+			if !yield(r) {
+				cancel()
+				close(stop)
+				for range ch { // let the workers drain and exit
+				}
+				return
+			}
+		}
+	}
+}
+
+func resultShell(idx int, s Scenario) ScenarioResult {
 	return ScenarioResult{
+		Index:      idx,
 		Scenario:   s.Name,
 		Topology:   s.Topology,
 		Router:     s.Router.Name(),
@@ -282,36 +374,36 @@ func resultShell(s Scenario) ScenarioResult {
 	}
 }
 
-func runScenario(ctx context.Context, s Scenario) ScenarioResult {
+// setErr records a cell failure in both the program-logic form (Err,
+// usable with errors.Is) and the serializable string form (Error).
+func (r *ScenarioResult) setErr(err error) {
+	r.Err = err
+	if err != nil {
+		r.Error = err.Error()
+	}
+}
+
+func runScenario(ctx context.Context, idx int, s Scenario, metrics []Metric) ScenarioResult {
 	start := time.Now()
-	res := resultShell(s)
+	res := resultShell(idx, s)
 	routes, err := s.Router.Routes(ctx, s.Network, s.Demands)
 	if err == nil {
 		var report *TrafficReport
 		if report, err = routes.Evaluate(s.Demands); err == nil {
-			res.MLU = report.MLU
-			res.Utility = report.Utility
+			res.MetricNames = make([]string, 0, len(metrics))
+			res.Metrics = make(map[string]float64, len(metrics))
+			for _, m := range metrics {
+				v, merr := m.Compute(routes, s.Demands, report)
+				if merr != nil {
+					v = math.NaN()
+					err = errors.Join(err, fmt.Errorf("metric %s: %w", m.Name(), merr))
+				}
+				res.MetricNames = append(res.MetricNames, m.Name())
+				res.Metrics[m.Name()] = v
+			}
 		}
 	}
-	res.Err = err
+	res.setErr(err)
 	res.Runtime = time.Since(start)
 	return res
-}
-
-// WriteResultsTable renders scenario results as an aligned text table.
-func WriteResultsTable(w io.Writer, results []ScenarioResult) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\tMLU\tutility\truntime")
-	for _, r := range results {
-		if r.Err != nil {
-			fmt.Fprintf(tw, "%s\terror\t%v\t%s\n", r.Scenario, r.Err, r.Runtime.Round(time.Millisecond))
-			continue
-		}
-		utility := fmt.Sprintf("%.4f", r.Utility)
-		if math.IsInf(r.Utility, -1) {
-			utility = "-inf"
-		}
-		fmt.Fprintf(tw, "%s\t%.4f\t%s\t%s\n", r.Scenario, r.MLU, utility, r.Runtime.Round(time.Millisecond))
-	}
-	return tw.Flush()
 }

@@ -101,9 +101,11 @@ func TestScenarioGridDeterministicAcrossWorkerCounts(t *testing.T) {
 			// Bitwise equality: each cell computes independently and
 			// deterministically, so the worker count must not change
 			// a single bit of the numeric results.
-			if r.MLU != b.MLU || r.Utility != b.Utility {
-				t.Errorf("workers=%d: cell %s got (MLU %v, utility %v), baseline (MLU %v, utility %v)",
-					workers, r.Scenario, r.MLU, r.Utility, b.MLU, b.Utility)
+			for _, name := range b.MetricNames {
+				if r.Metrics[name] != b.Metrics[name] {
+					t.Errorf("workers=%d: cell %s metric %s = %v, baseline %v",
+						workers, r.Scenario, name, r.Metrics[name], b.Metrics[name])
+				}
 			}
 		}
 	}
@@ -119,8 +121,8 @@ func TestScenarioGridDeterministicAcrossWorkerCounts(t *testing.T) {
 	if !okO || !okS {
 		t.Fatalf("intact-topology cells missing from results")
 	}
-	if !math.IsInf(ospf.Utility, -1) && spefRes.Utility < ospf.Utility-0.05*math.Abs(ospf.Utility)-0.05 {
-		t.Errorf("SPEF utility %v below OSPF %v on intact topology", spefRes.Utility, ospf.Utility)
+	if !math.IsInf(ospf.Utility(), -1) && spefRes.Utility() < ospf.Utility()-0.05*math.Abs(ospf.Utility())-0.05 {
+		t.Errorf("SPEF utility %v below OSPF %v on intact topology", spefRes.Utility(), ospf.Utility())
 	}
 }
 

@@ -1,0 +1,277 @@
+package spef
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"text/tabwriter"
+	"time"
+)
+
+// Sink consumes scenario results one row at a time, which is what lets
+// StreamScenarios persist arbitrarily large sweeps under constant
+// memory. Write is called once per result (the scenario runner emits
+// serialized, so Sink implementations need no locking when driven by a
+// single consumer); Flush finalizes buffered output and must be called
+// once after the last Write.
+type Sink interface {
+	Write(r ScenarioResult) error
+	Flush() error
+}
+
+// WriteResults writes every result to the sink and flushes it — the
+// batch convenience over the streaming Write/Flush contract.
+func WriteResults(sink Sink, results []ScenarioResult) error {
+	for _, r := range results {
+		if err := sink.Write(r); err != nil {
+			return err
+		}
+	}
+	return sink.Flush()
+}
+
+// fmtMetric renders a metric value for the text sinks: NaN and the
+// infinities get explicit spellings ("-inf" is the paper's rendering of
+// utility past saturation) instead of raw %f garbage.
+func fmtMetric(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// jsonFloat marshals a float64 with explicit non-finite spellings:
+// encoding/json rejects NaN and the infinities, but saturated cells
+// legitimately carry utility = -Inf, so the JSONL schema encodes
+// non-finite values as the strings "nan", "+inf" and "-inf".
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	default:
+		return json.Marshal(v)
+	}
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"nan"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	case `"+inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// jsonlRecord is the JSONL schema of one scenario result (documented in
+// DESIGN.md). Errors are serialized as strings, metrics as an object
+// plus the ordered name list, so runs diff line-by-line across tools.
+type jsonlRecord struct {
+	Index       int                  `json:"index"`
+	Scenario    string               `json:"scenario"`
+	Topology    string               `json:"topology,omitempty"`
+	Router      string               `json:"router,omitempty"`
+	Load        float64              `json:"load,omitempty"`
+	FailedLink  string               `json:"failed_link,omitempty"`
+	MetricNames []string             `json:"metric_names,omitempty"`
+	Metrics     map[string]jsonFloat `json:"metrics,omitempty"`
+	RuntimeMS   float64              `json:"runtime_ms"`
+	Error       string               `json:"error,omitempty"`
+}
+
+// JSONLSink writes one JSON object per result per line — the
+// machine-readable persistence format of suite runs.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a Sink emitting one JSON line per result to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write emits one result as a JSON line.
+func (s *JSONLSink) Write(r ScenarioResult) error {
+	rec := jsonlRecord{
+		Index:       r.Index,
+		Scenario:    r.Scenario,
+		Topology:    r.Topology,
+		Router:      r.Router,
+		Load:        r.Load,
+		FailedLink:  r.FailedLink,
+		MetricNames: r.MetricNames,
+		RuntimeMS:   float64(r.Runtime) / float64(time.Millisecond),
+		Error:       r.Error,
+	}
+	if len(r.Metrics) > 0 {
+		rec.Metrics = make(map[string]jsonFloat, len(r.Metrics))
+		for k, v := range r.Metrics {
+			rec.Metrics[k] = jsonFloat(v)
+		}
+	}
+	return s.enc.Encode(rec)
+}
+
+// Flush is a no-op: every line is written eagerly.
+func (s *JSONLSink) Flush() error { return nil }
+
+// CSVSink writes results as CSV with one column per metric. The metric
+// columns are fixed by the constructor, or locked to the first written
+// result's metric order when none are given; later rows missing a
+// column leave the cell empty.
+type CSVSink struct {
+	w           *csv.Writer
+	metricNames []string
+	wroteHeader bool
+}
+
+// NewCSVSink returns a Sink emitting CSV to w. metricNames fixes the
+// metric column set up front (recommended for streams whose first cell
+// may have failed); when empty, the columns are taken from the first
+// written result.
+func NewCSVSink(w io.Writer, metricNames ...string) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w), metricNames: metricNames}
+}
+
+func (s *CSVSink) header(r ScenarioResult) error {
+	if s.wroteHeader {
+		return nil
+	}
+	if len(s.metricNames) == 0 {
+		s.metricNames = append(s.metricNames, r.MetricNames...)
+	}
+	row := []string{"index", "scenario", "topology", "router", "load", "failed_link"}
+	row = append(row, s.metricNames...)
+	row = append(row, "runtime_ms", "error")
+	s.wroteHeader = true
+	return s.w.Write(row)
+}
+
+// Write emits one result as a CSV row.
+func (s *CSVSink) Write(r ScenarioResult) error {
+	if err := s.header(r); err != nil {
+		return err
+	}
+	row := []string{
+		strconv.Itoa(r.Index),
+		r.Scenario,
+		r.Topology,
+		r.Router,
+		strconv.FormatFloat(r.Load, 'g', -1, 64),
+		r.FailedLink,
+	}
+	for _, name := range s.metricNames {
+		v, ok := r.Metrics[name]
+		switch {
+		case !ok:
+			row = append(row, "")
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			row = append(row, fmtMetric(v))
+		default:
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	row = append(row,
+		strconv.FormatFloat(float64(r.Runtime)/float64(time.Millisecond), 'g', -1, 64),
+		r.Error)
+	return s.w.Write(row)
+}
+
+// Flush flushes the underlying CSV writer.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// TableSink renders results as an aligned text table (the tabwriter
+// rendering WriteResultsTable always produced), one column per metric.
+type TableSink struct {
+	tw          *tabwriter.Writer
+	metricNames []string
+	wroteHeader bool
+}
+
+// NewTableSink returns a Sink rendering an aligned text table to w.
+// metricNames fixes the metric columns up front; when empty, they are
+// taken from the first written result.
+func NewTableSink(w io.Writer, metricNames ...string) *TableSink {
+	return &TableSink{tw: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0), metricNames: metricNames}
+}
+
+func (s *TableSink) header(r ScenarioResult) {
+	if s.wroteHeader {
+		return
+	}
+	if len(s.metricNames) == 0 {
+		s.metricNames = append(s.metricNames, r.MetricNames...)
+	}
+	fmt.Fprint(s.tw, "scenario")
+	for _, name := range s.metricNames {
+		fmt.Fprintf(s.tw, "\t%s", name)
+	}
+	fmt.Fprintln(s.tw, "\truntime")
+	s.wroteHeader = true
+}
+
+// Write emits one result as a table row.
+func (s *TableSink) Write(r ScenarioResult) error {
+	s.header(r)
+	if r.Err != nil {
+		fmt.Fprintf(s.tw, "%s\terror: %v\t(%s)\n", r.Scenario, r.Err, r.Runtime.Round(time.Millisecond))
+		return nil
+	}
+	fmt.Fprint(s.tw, r.Scenario)
+	for _, name := range s.metricNames {
+		if v, ok := r.Metrics[name]; ok {
+			fmt.Fprintf(s.tw, "\t%s", fmtMetric(v))
+		} else {
+			fmt.Fprint(s.tw, "\t-")
+		}
+	}
+	fmt.Fprintf(s.tw, "\t%s\n", r.Runtime.Round(time.Millisecond))
+	return nil
+}
+
+// Flush flushes the aligned table to the underlying writer.
+func (s *TableSink) Flush() error { return s.tw.Flush() }
+
+// WriteResultsTable renders scenario results as an aligned text table —
+// the batch convenience over TableSink. Non-finite metric values are
+// rendered explicitly ("nan", "+inf", "-inf" — the latter is utility's
+// saturation rendering).
+func WriteResultsTable(w io.Writer, results []ScenarioResult) error {
+	var names []string
+	for _, r := range results {
+		if len(r.MetricNames) > 0 {
+			names = r.MetricNames
+			break
+		}
+	}
+	return WriteResults(NewTableSink(w, names...), results)
+}

@@ -1,0 +1,144 @@
+package spef
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResults() []ScenarioResult {
+	ok := ScenarioResult{
+		Index:       0,
+		Scenario:    "net/load=0.1/SPEF",
+		Topology:    "net",
+		Router:      "SPEF",
+		Load:        0.1,
+		MetricNames: []string{"mlu", "utility", "mm1_delay", "max_stretch"},
+		Metrics: map[string]float64{
+			"mlu":         0.75,
+			"utility":     math.Inf(-1),
+			"mm1_delay":   math.Inf(1),
+			"max_stretch": math.NaN(),
+		},
+		Runtime: 1500 * time.Microsecond,
+	}
+	bad := ScenarioResult{Index: 1, Scenario: "net/load=0.2/SPEF", Topology: "net", Router: "SPEF", Load: 0.2}
+	bad.setErr(errors.New("solver exploded"))
+	return []ScenarioResult{ok, bad}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResults(NewJSONLSink(&buf), sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var recs []jsonlRecord
+	for sc.Scan() {
+		var rec jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(recs))
+	}
+	if recs[0].Scenario != "net/load=0.1/SPEF" || recs[0].Index != 0 {
+		t.Errorf("record 0 identity = %+v", recs[0])
+	}
+	// Non-finite values survive the round trip via the explicit
+	// spellings.
+	if v := float64(recs[0].Metrics["utility"]); !math.IsInf(v, -1) {
+		t.Errorf("utility round-tripped to %v, want -Inf", v)
+	}
+	if v := float64(recs[0].Metrics["mm1_delay"]); !math.IsInf(v, 1) {
+		t.Errorf("mm1_delay round-tripped to %v, want +Inf", v)
+	}
+	if v := float64(recs[0].Metrics["max_stretch"]); !math.IsNaN(v) {
+		t.Errorf("max_stretch round-tripped to %v, want NaN", v)
+	}
+	if v := float64(recs[0].Metrics["mlu"]); v != 0.75 {
+		t.Errorf("mlu round-tripped to %v, want 0.75", v)
+	}
+	// Errors serialize as strings.
+	if recs[1].Error != "solver exploded" {
+		t.Errorf("error round-tripped to %q", recs[1].Error)
+	}
+	if len(recs[1].Metrics) != 0 {
+		t.Errorf("failed cell carries metrics: %v", recs[1].Metrics)
+	}
+}
+
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSVSink(&buf, "mlu", "utility", "mm1_delay", "max_stretch")
+	if err := WriteResults(sink, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "index,scenario,topology,router,load,failed_link,mlu,utility,mm1_delay,max_stretch,runtime_ms") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-inf") || !strings.Contains(lines[1], "+inf") || !strings.Contains(lines[1], "nan") {
+		t.Errorf("row with non-finite metrics = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "solver exploded") {
+		t.Errorf("error row = %q", lines[2])
+	}
+}
+
+func TestCSVSinkDerivesColumnsFromFirstRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResults(NewCSVSink(&buf), sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	for _, col := range []string{"mlu", "utility", "mm1_delay", "max_stretch"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("derived header %q missing column %s", header, col)
+		}
+	}
+}
+
+// TestWriteResultsTableNonFinite pins the satellite fix: NaN and +Inf
+// render explicitly, -inf stays the unbounded-utility spelling, and
+// error rows carry the serialized error.
+func TestWriteResultsTableNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResultsTable(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"-inf", "+inf", "nan", "0.7500", "error: solver exploded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf)") {
+		t.Errorf("table output leaks raw Go float formatting:\n%s", out)
+	}
+}
+
+// TestWriteResultsTablePicksColumnsPastErrors checks the column set
+// comes from the first result that carries metrics, even when earlier
+// cells failed.
+func TestWriteResultsTablePicksColumnsPastErrors(t *testing.T) {
+	rs := sampleResults()
+	rs[0], rs[1] = rs[1], rs[0] // error row first
+	var buf bytes.Buffer
+	if err := WriteResultsTable(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "mlu") {
+		t.Errorf("header missing metric columns:\n%s", buf.String())
+	}
+}

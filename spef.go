@@ -36,6 +36,27 @@
 //	cells, _ := grid.Scenarios()
 //	results, _ := spef.RunScenarios(ctx, cells, spef.RunOptions{})
 //
+// Results flow through a streaming pipeline: every cell records a
+// configurable Metric set (MLU, utility, utilization percentiles,
+// M/M/1 delay, path stretch — see DefaultMetrics), StreamScenarios
+// emits each cell as it completes under O(workers) memory, and Sinks
+// persist rows as JSONL, CSV or aligned tables. The Suite type is the
+// declarative form — topologies, demand generators, routers and
+// metrics named through the registry (ResolveTopology, ResolveDemands,
+// ResolveRouter) and parseable from JSON — driven by `spef suite`:
+//
+//	suite := &spef.Suite{
+//		Topologies: []string{"abilene"},
+//		Loads:      []float64{0.12, 0.15, 0.18},
+//		Routers:    []string{"invcap", "spef", "optimal"},
+//	}
+//	seq, _ := suite.Stream(ctx)
+//	sink := spef.NewJSONLSink(f)
+//	for r := range seq {
+//		sink.Write(r)
+//	}
+//	sink.Flush()
+//
 // The packages under internal/ hold the substrates (graph algorithms,
 // flow solvers, an LP solver, a packet-level simulator) and the
 // experiment harness regenerating every table and figure of the paper;

@@ -1,0 +1,202 @@
+package spef
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"strings"
+)
+
+// Suite is a declarative scenario sweep: topologies and demand
+// generators named through the registry, the grid axes (loads, betas,
+// failures), the routing schemes under comparison, and the metrics to
+// record. A Suite is the JSON/flag-addressable form of a Grid — what
+// the `spef suite` command parses and runs, and what EXPERIMENTS.md
+// uses to make sweeps reproducible without Go code.
+type Suite struct {
+	// Name labels the suite in output.
+	Name string `json:"name,omitempty"`
+	// Topologies lists topology registry specs ("abilene",
+	// "rand:n=50,links=242,seed=1", ...).
+	Topologies []string `json:"topologies"`
+	// Demands optionally overrides every topology's canonical demands
+	// with a demand-generator spec ("ft:seed=7", "gravity", "uniform").
+	// Empty keeps each topology's registry default.
+	Demands string `json:"demands,omitempty"`
+	// Loads, Betas and SingleLinkFailures are the Grid axes.
+	Loads              []float64 `json:"loads,omitempty"`
+	Betas              []float64 `json:"betas,omitempty"`
+	SingleLinkFailures bool      `json:"single_link_failures,omitempty"`
+	// Routers lists router specs: "spef", "invcap" (or "ospf"),
+	// "peft", "optimal", "spef:iters=N", "peft:iters=N".
+	Routers []string `json:"routers"`
+	// Metrics lists metric names (see MetricsByName); empty selects
+	// DefaultMetrics.
+	Metrics []string `json:"metrics,omitempty"`
+	// MaxIterations bounds every optimizing router's Algorithm 1 budget
+	// (0 keeps the pipeline's automatic budget); per-router iters=N
+	// parameters override it.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Workers bounds concurrent cells (0 selects GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseSuite parses a JSON suite spec, rejecting unknown fields so
+// typos fail loudly.
+func ParseSuite(data []byte) (*Suite, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: parsing suite spec: %v", ErrBadInput, err)
+	}
+	return &s, nil
+}
+
+// Grid resolves the suite's registry specs into a concrete Grid.
+func (s *Suite) Grid() (Grid, error) {
+	if len(s.Topologies) == 0 {
+		return Grid{}, fmt.Errorf("%w: suite has no topologies", ErrBadInput)
+	}
+	if len(s.Routers) == 0 {
+		return Grid{}, fmt.Errorf("%w: suite has no routers", ErrBadInput)
+	}
+	grid := Grid{
+		Loads:              s.Loads,
+		Betas:              s.Betas,
+		SingleLinkFailures: s.SingleLinkFailures,
+	}
+	for _, spec := range s.Topologies {
+		// A suite-level demand spec replaces each topology's canonical
+		// demands, so skip building them (fig1/simple keep their cheap
+		// built-ins attached either way; the override still applies).
+		t, err := resolveTopology(spec, s.Demands == "")
+		if err != nil {
+			return Grid{}, err
+		}
+		if s.Demands != "" {
+			d, err := ResolveDemands(s.Demands, t.Network)
+			if err != nil {
+				return Grid{}, err
+			}
+			if d == nil {
+				return Grid{}, fmt.Errorf("%w: suite demand spec %q resolves to no demands", ErrBadInput, s.Demands)
+			}
+			t.Demands = d
+		}
+		grid.Topologies = append(grid.Topologies, t)
+	}
+	for _, spec := range s.Routers {
+		r, err := ResolveRouter(spec, s.MaxIterations)
+		if err != nil {
+			return Grid{}, err
+		}
+		grid.Routers = append(grid.Routers, r)
+	}
+	return grid, nil
+}
+
+// Scenarios expands the suite into its concrete cells.
+func (s *Suite) Scenarios() ([]Scenario, error) {
+	grid, err := s.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return grid.Scenarios()
+}
+
+// RunOptions resolves the suite's metrics and worker count.
+func (s *Suite) RunOptions() (RunOptions, error) {
+	opts := RunOptions{Workers: s.Workers}
+	if len(s.Metrics) > 0 {
+		m, err := MetricsByName(s.Metrics...)
+		if err != nil {
+			return RunOptions{}, err
+		}
+		opts.Metrics = m
+	}
+	return opts, nil
+}
+
+// Collect runs the suite on the deterministic batch path: one result
+// per cell, in cell order, for any worker count.
+func (s *Suite) Collect(ctx context.Context) ([]ScenarioResult, error) {
+	cells, opts, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return RunScenarios(ctx, cells, opts)
+}
+
+// Stream runs the suite on the streaming path: results are emitted as
+// cells complete (sort by Index to recover batch order) and memory
+// stays O(workers) regardless of suite size.
+func (s *Suite) Stream(ctx context.Context) (iter.Seq[ScenarioResult], error) {
+	cells, opts, err := s.resolve()
+	if err != nil {
+		return nil, err
+	}
+	return StreamScenarios(ctx, cells, opts), nil
+}
+
+func (s *Suite) resolve() ([]Scenario, RunOptions, error) {
+	cells, err := s.Scenarios()
+	if err != nil {
+		return nil, RunOptions{}, err
+	}
+	opts, err := s.RunOptions()
+	if err != nil {
+		return nil, RunOptions{}, err
+	}
+	return cells, opts, nil
+}
+
+// MetricNames returns the resolved metric column order of the suite —
+// what sinks should be constructed with.
+func (s *Suite) MetricNames() ([]string, error) {
+	opts, err := s.RunOptions()
+	if err != nil {
+		return nil, err
+	}
+	metrics := opts.metrics()
+	names := make([]string, len(metrics))
+	for i, m := range metrics {
+		names[i] = m.Name()
+	}
+	return names, nil
+}
+
+// ResolveRouter resolves a router spec ("spef", "invcap"/"ospf",
+// "peft", "optimal", optionally with iters=N) into a Router.
+// defaultIters bounds optimizing routers' Algorithm 1 budget when the
+// spec carries no iters parameter (0 keeps the automatic budget).
+func ResolveRouter(spec string, defaultIters int) (Router, error) {
+	name, params, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := onlyParams(spec, params, "iters"); err != nil {
+		return nil, err
+	}
+	iters, err := intParam(params, "iters", int64(defaultIters))
+	if err != nil {
+		return nil, err
+	}
+	var opts []Option
+	if iters > 0 {
+		opts = append(opts, WithMaxIterations(int(iters)))
+	}
+	switch strings.ToLower(name) {
+	case "spef":
+		return SPEF(opts...), nil
+	case "invcap", "ospf":
+		return OSPF(nil), nil
+	case "peft":
+		return PEFT(nil, opts...), nil
+	case "optimal":
+		return Optimal(opts...), nil
+	}
+	return nil, fmt.Errorf("%w: unknown router %q (known: spef, invcap, ospf, peft, optimal)", ErrBadInput, spec)
+}

@@ -1,0 +1,258 @@
+package spef
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRegisteredTopologies(t *testing.T) {
+	infos, err := RegisteredTopologies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TopologyInfo{}
+	for _, i := range infos {
+		byName[i.Name] = i
+	}
+	ab, ok := byName["abilene"]
+	if !ok {
+		t.Fatal("registry missing abilene")
+	}
+	if ab.ID != "Abilene" || ab.Class != "Backbone" || ab.Nodes != 11 || ab.Links != 28 {
+		t.Errorf("abilene info = %+v", ab)
+	}
+	for _, name := range []string{"cernet2", "hier50a", "hier50b", "rand50a", "rand50b", "rand100", "fig1", "simple"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+}
+
+func TestResolveTopology(t *testing.T) {
+	// Named Table III topology with canonical demands attached.
+	topo, err := ResolveTopology("abilene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != "Abilene" || topo.Network.NumNodes() != 11 || topo.Demands == nil {
+		t.Errorf("abilene resolved to %q, %d nodes, demands %v", topo.Name, topo.Network.NumNodes(), topo.Demands)
+	}
+
+	// Worked example with its built-in demands.
+	fig1, err := ResolveTopology("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.Network.NumNodes() != 4 || fig1.Demands.Total() != 1.9 {
+		t.Errorf("fig1 resolved to %d nodes, total demand %v", fig1.Network.NumNodes(), fig1.Demands.Total())
+	}
+
+	// Parameterized generator: deterministic per spec.
+	a, err := ResolveTopology("rand:n=12,links=30,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ResolveTopology("rand:n=12,links=30,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Network.NumNodes() != 12 || a.Network.NumLinks() != 30 {
+		t.Errorf("rand spec produced %d nodes, %d links", a.Network.NumNodes(), a.Network.NumLinks())
+	}
+	for id := 0; id < a.Network.NumLinks(); id++ {
+		af, at, _ := a.Network.Link(id)
+		bf, bt, _ := b.Network.Link(id)
+		if af != bf || at != bt {
+			t.Fatalf("rand spec not deterministic at link %d", id)
+		}
+	}
+
+	hier, err := ResolveTopology("hier:n=20,clusters=4,links=60,seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Network.NumNodes() != 20 || hier.Network.NumLinks() != 60 {
+		t.Errorf("hier spec produced %d nodes, %d links", hier.Network.NumNodes(), hier.Network.NumLinks())
+	}
+
+	for _, bad := range []string{"atlantis", "rand:n=12,nodes=5", "abilene:seed=3", "rand:n=twelve"} {
+		if _, err := ResolveTopology(bad); !errors.Is(err, ErrBadInput) {
+			t.Errorf("ResolveTopology(%q) err = %v, want ErrBadInput", bad, err)
+		}
+	}
+}
+
+func TestResolveDemands(t *testing.T) {
+	n := Abilene()
+	ft, err := ResolveDemands("ft:seed=7", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft2, err := ResolveDemands("ft:seed=7", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft.Total() != ft2.Total() || ft.Total() <= 0 {
+		t.Errorf("ft demands not deterministic: %v vs %v", ft.Total(), ft2.Total())
+	}
+
+	grav, err := ResolveDemands("gravity:seed=2,sigma=0.8", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gravity demands normalize to the total network capacity.
+	if math.Abs(grav.Total()-n.TotalCapacity()) > 1e-6*n.TotalCapacity() {
+		t.Errorf("gravity total %v, want ~%v", grav.Total(), n.TotalCapacity())
+	}
+
+	uni, err := ResolveDemands("uniform:v=2", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * float64(n.NumNodes()*(n.NumNodes()-1))
+	if math.Abs(uni.Total()-want) > 1e-9 {
+		t.Errorf("uniform total %v, want %v", uni.Total(), want)
+	}
+
+	if d, err := ResolveDemands("none", n); err != nil || d != nil {
+		t.Errorf("none resolved to %v, %v", d, err)
+	}
+	for _, bad := range []string{"netflow", "ft:alpha=2", "uniform:v=x"} {
+		if _, err := ResolveDemands(bad, n); !errors.Is(err, ErrBadInput) {
+			t.Errorf("ResolveDemands(%q) err = %v, want ErrBadInput", bad, err)
+		}
+	}
+}
+
+func TestParseSuite(t *testing.T) {
+	spec := `{
+		"name": "fig10-abilene",
+		"topologies": ["abilene"],
+		"demands": "ft:seed=1001",
+		"loads": [0.12, 0.14],
+		"routers": ["invcap", "spef:iters=500"],
+		"metrics": ["mlu", "utility"],
+		"workers": 2
+	}`
+	s, err := ParseSuite([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "fig10-abilene" || len(s.Loads) != 2 || len(s.Routers) != 2 {
+		t.Errorf("parsed suite = %+v", s)
+	}
+	grid, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Topologies) != 1 || len(grid.Routers) != 2 {
+		t.Fatalf("grid has %d topologies, %d routers", len(grid.Topologies), len(grid.Routers))
+	}
+	if grid.Routers[0].Name() != "InvCap-OSPF" || grid.Routers[1].Name() != "SPEF" {
+		t.Errorf("routers resolved to %q, %q", grid.Routers[0].Name(), grid.Routers[1].Name())
+	}
+	cells, err := s.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 loads x 2 routers.
+	if len(cells) != 4 {
+		t.Errorf("suite expanded to %d cells, want 4", len(cells))
+	}
+
+	// Typos in field names fail loudly.
+	if _, err := ParseSuite([]byte(`{"topologys": ["abilene"]}`)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown field err = %v, want ErrBadInput", err)
+	}
+	// Unknown routers and metrics fail at resolution.
+	if _, err := (&Suite{Topologies: []string{"fig1"}, Routers: []string{"rip"}}).Grid(); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown router err = %v, want ErrBadInput", err)
+	}
+	bad := &Suite{Topologies: []string{"fig1"}, Routers: []string{"invcap"}, Metrics: []string{"latency"}}
+	if _, err := bad.RunOptions(); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown metric err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestSuiteCollectAndStreamAgree runs a small suite end to end on both
+// delivery paths — the declarative layer's acceptance test.
+func TestSuiteCollectAndStreamAgree(t *testing.T) {
+	suite := &Suite{
+		Name:       "fig1-mini",
+		Topologies: []string{"fig1"},
+		Routers:    []string{"invcap", "spef:iters=2000"},
+		Metrics:    []string{"mlu", "utility", "mean_util", "p95_util", "mm1_delay"},
+		Workers:    2,
+	}
+	batch, err := suite.Collect(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("%d results, want 2", len(batch))
+	}
+	for _, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("cell %s failed: %v", r.Scenario, r.Err)
+		}
+		if len(r.MetricNames) != 5 {
+			t.Errorf("cell %s has %d metrics, want 5", r.Scenario, len(r.MetricNames))
+		}
+	}
+	names, err := suite.MetricNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "mlu,utility,mean_util,p95_util,mm1_delay" {
+		t.Errorf("MetricNames = %v", names)
+	}
+
+	seq, err := suite.Stream(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []ScenarioResult
+	for r := range seq {
+		streamed = append(streamed, r)
+	}
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Index < streamed[j].Index })
+	if len(streamed) != len(batch) {
+		t.Fatalf("streamed %d results, batch %d", len(streamed), len(batch))
+	}
+	for i, r := range streamed {
+		for _, name := range batch[i].MetricNames {
+			if r.Metrics[name] != batch[i].Metrics[name] {
+				t.Errorf("cell %s metric %s: stream %v, batch %v",
+					r.Scenario, name, r.Metrics[name], batch[i].Metrics[name])
+			}
+		}
+	}
+}
+
+func TestResolveRouter(t *testing.T) {
+	for spec, want := range map[string]string{
+		"spef":           "SPEF",
+		"ospf":           "InvCap-OSPF",
+		"invcap":         "InvCap-OSPF",
+		"peft":           "PEFT",
+		"optimal":        "Optimal",
+		"spef:iters=100": "SPEF",
+	} {
+		r, err := ResolveRouter(spec, 0)
+		if err != nil {
+			t.Errorf("ResolveRouter(%q): %v", spec, err)
+			continue
+		}
+		if r.Name() != want {
+			t.Errorf("ResolveRouter(%q).Name() = %q, want %q", spec, r.Name(), want)
+		}
+	}
+	for _, bad := range []string{"rip", "spef:beta=2"} {
+		if _, err := ResolveRouter(bad, 0); !errors.Is(err, ErrBadInput) {
+			t.Errorf("ResolveRouter(%q) err = %v, want ErrBadInput", bad, err)
+		}
+	}
+}
