@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// benchMain runs `spef bench`: the machine-readable performance harness
+// that times the shortest-path kernels (pre-workspace "alloc" path vs
+// workspace "reuse" path, sequential vs parallel per-destination
+// evaluation), verifies the fast paths bit-identical to the slow ones,
+// writes a BENCH_*.json report, and optionally checks it against a
+// committed baseline.
+func benchMain(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		quick    = fs.Bool("quick", false, "small topology set and shorter measurements (the CI smoke configuration)")
+		out      = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		check    = fs.String("check", "", "compare against a committed baseline report and fail on regression")
+		tol      = fs.Float64("tol", 0.20, "allowed fractional regression vs the baseline (with -check)")
+		absolute = fs.Bool("abs", false, "with -check, also compare raw ns/op (meaningful on the baseline's machine class)")
+		quiet    = fs.Bool("q", false, "suppress per-measurement progress lines on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spef bench [-quick] [-o FILE] [-check BASELINE [-tol F] [-abs]]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := bench.Options{Quick: *quick}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	rep, err := bench.Run(opts)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spef bench: wrote %s\n", *out)
+	} else if err := rep.WriteJSON(os.Stdout); err != nil {
+		return err
+	}
+	if *check != "" {
+		base, err := bench.ReadFile(*check)
+		if err != nil {
+			return err
+		}
+		if err := bench.Check(rep, base, *tol, *absolute); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spef bench: no regression vs %s (tol %.0f%%)\n", *check, *tol*100)
+	}
+	return nil
+}

@@ -70,6 +70,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := benchMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "reduced-fidelity run (fast)")
 	workers := flag.Int("workers", 0, "concurrent cells in sweeping experiments (0 = GOMAXPROCS)")
 	flag.Usage = usage

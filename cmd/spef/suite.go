@@ -28,6 +28,7 @@ func suiteMain(args []string) error {
 		failures   = fs.Bool("failures", false, "add single-link-failure variants of every topology")
 		iters      = fs.Int("iters", 0, "Algorithm 1 iteration budget for optimizing routers (0 = automatic)")
 		workers    = fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		reuse      = fs.Bool("reuse-weights", false, "optimize each (topology, failure, router) group once at the first load and re-simulate those weights across the load axis")
 		format     = fs.String("format", "table", "output format: table|jsonl|csv")
 		out        = fs.String("o", "", "output file (default stdout)")
 		stream     = fs.Bool("stream", false, "write each cell as it completes (completion order) instead of the deterministic batch order")
@@ -83,6 +84,9 @@ func suiteMain(args []string) error {
 	}
 	if *workers > 0 {
 		suite.Workers = *workers
+	}
+	if *reuse {
+		suite.ReuseWeights = true
 	}
 
 	w := os.Stdout

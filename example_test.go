@@ -86,6 +86,40 @@ func ExampleProtocol_ForwardingTable() {
 	// next hop n2 ratio 0.33
 }
 
+// ExampleRunScenarios_reuseWeights shows the weight-reuse cache: the
+// SPEF cell group is optimized once, at the grid's first load, and the
+// extracted two-weight configuration is re-simulated at every other
+// load — the deployed-weights robustness question, and a large speedup
+// on load sweeps.
+func ExampleRunScenarios_reuseWeights() {
+	n, d, err := spef.Fig1Example()
+	if err != nil {
+		panic(err)
+	}
+	grid := spef.Grid{
+		Topologies: []spef.Topology{{Name: "fig1", Network: n, Demands: d}},
+		Loads:      []float64{0.2, 0.4},
+		Routers:    []spef.Router{spef.SPEF(spef.WithMaxIterations(20000))},
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		panic(err)
+	}
+	results, err := spef.RunScenarios(context.Background(), cells,
+		spef.RunOptions{ReuseWeights: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: MLU %.2f\n", r.Scenario, r.MLU())
+	}
+	// With fixed weights the distribution scales linearly in load, so
+	// the MLU exactly doubles from load 0.2 to 0.4.
+	// Output:
+	// fig1/load=0.2/SPEF: MLU 0.42
+	// fig1/load=0.4/SPEF: MLU 0.84
+}
+
 // ExampleGrid shows the Scenario engine: a grid of routers on the
 // Fig. 1 network expands into cells that run concurrently, with
 // deterministic, order-independent results.

@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: the SPEF routing
+// protocol ("Shortest paths Penalizing Exponential Flow-splitting").
+//
+// The pipeline is the paper's Algorithm 4:
+//
+//  1. Algorithm 1 (algorithm1.go) — dual decomposition computing the
+//     first (optimal) link weights w and the optimal traffic
+//     distribution f*.
+//  2. Dijkstra per destination on w with an equal-cost tolerance,
+//     producing the shortest-path DAGs ON_t.
+//  3. Algorithm 2 (nem.go) — Network Entropy Maximization computing the
+//     second link weights v that realize f* by exponential flow
+//     splitting over the equal-cost shortest paths.
+//  4. Forwarding-table construction (spef.go, paper Table II).
+//
+// Per-destination work — the Route_t subproblems inside every
+// Algorithm 1 iteration, the DAG builds, and the per-commodity
+// propagation inside every Algorithm 2 iteration — is independent
+// across destinations and fans out over internal/par's bounded worker
+// pool with per-worker graph.Workspace arenas. Results are bit-
+// identical to the sequential loops for any worker count (see the
+// parallel_test.go property tests).
+package core

@@ -7,8 +7,14 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
+
+// workspaces recycles per-worker graph scratch across the pipeline's
+// hot loops (Algorithm 2's per-iteration distribution, DAG builds);
+// every parallel destination worker draws a private arena.
+var workspaces graph.WorkspacePool
 
 // SecondWeightOptions tunes Algorithm 2 (the NEM dual gradient for the
 // second link weights). Zero values select defaults.
@@ -58,22 +64,51 @@ func splitRatios(g *graph.Graph, d *graph.DAG, v []float64) ([]float64, []float6
 // distance order and splitting each node's accumulated traffic by the
 // ratios of Eq. (22).
 func TrafficDistribution(g *graph.Graph, dags map[int]*graph.DAG, tm *traffic.Matrix, v []float64) (*mcf.Flow, error) {
+	return TrafficDistributionInto(g, dags, tm, v, nil)
+}
+
+// TrafficDistributionInto is TrafficDistribution with an optional
+// reusable output flow (created for the same graph and destinations;
+// nil allocates a fresh one). Algorithm 2 evaluates the distribution
+// once per gradient iteration, so reuse removes the dominant
+// allocation.
+//
+// Destinations are evaluated concurrently (par.Do): each commodity
+// reads the shared DAGs and weights and writes only its own per-
+// destination vector through a private workspace, so the result is
+// bit-identical to the sequential loop for any worker count.
+func TrafficDistributionInto(g *graph.Graph, dags map[int]*graph.DAG, tm *traffic.Matrix, v []float64, flow *mcf.Flow) (*mcf.Flow, error) {
 	if len(v) != g.NumLinks() {
 		return nil, fmt.Errorf("%w: got %d second weights for %d links", ErrBadInput, len(v), g.NumLinks())
 	}
 	dests := tm.Destinations()
-	flow := mcf.NewFlow(g, dests)
+	if flow == nil {
+		flow = mcf.NewFlow(g, dests)
+	}
 	for _, t := range dests {
-		d, ok := dags[t]
-		if !ok {
+		if _, ok := dags[t]; !ok {
 			return nil, fmt.Errorf("%w: no shortest-path DAG for destination %d", ErrBadInput, t)
 		}
-		ratio, _ := splitRatios(g, d, v)
-		ft, err := graph.PropagateDown(g, d, tm.ToDestination(t), ratio)
+		if _, ok := flow.PerDest[t]; !ok {
+			return nil, fmt.Errorf("%w: reused flow lacks commodity %d", ErrBadInput, t)
+		}
+	}
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		d := dags[t]
+		ws := workspaces.Get(g)
+		ratio, _ := ws.ExponentialSplits(g, d, v)
+		demand := tm.ToDestinationInto(t, ws.DemandBuffer(g))
+		errs[i] = ws.PropagateDownInto(g, d, demand, ratio, flow.PerDest[t])
+		workspaces.Put(ws)
+	})
+	// Scanning in index order keeps the reported failure independent
+	// of scheduling order.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		flow.PerDest[t] = ft
 	}
 	flow.RecomputeTotal()
 	return flow, nil
@@ -113,7 +148,7 @@ func SecondWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, dags
 	v := make([]float64, g.NumLinks())
 	var (
 		trace        []float64
-		flow         *mcf.Flow
+		flow         = mcf.NewFlow(g, tm.Destinations()) // reused across iterations
 		err          error
 		maxViolation float64
 	)
@@ -126,7 +161,7 @@ func SecondWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, dags
 		if opts.Progress != nil {
 			opts.Progress(iters, opts.MaxIters)
 		}
-		flow, err = TrafficDistribution(g, dags, tm, v)
+		flow, err = TrafficDistributionInto(g, dags, tm, v, flow)
 		if err != nil {
 			return nil, err
 		}

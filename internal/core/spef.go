@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/objective"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
 
@@ -99,13 +100,22 @@ func BuildWithWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, w
 	}
 	coverEps := 1e-6 * maxBudget
 	dests := tm.Destinations()
-	dags := make(map[int]*graph.DAG, len(dests))
-	for _, t := range dests {
+	// Destinations are independent: build each DAG on a parallel worker
+	// with a private workspace, then assemble the map sequentially (map
+	// writes are not concurrency-safe). The workspace arena is cloned
+	// before retention.
+	built := make([]*graph.DAG, len(dests))
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
 		tolT := tol
 		if ft, ok := flow.PerDest[t]; ok {
-			sp, err := graph.DijkstraTo(g, w, t)
+			sp, err := ws.DijkstraTo(g, w, t)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				return
 			}
 			for e, fe := range ft {
 				if fe <= coverEps {
@@ -120,11 +130,21 @@ func BuildWithWeights(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, w
 				}
 			}
 		}
-		d, err := graph.BuildDAG(g, w, t, tolT)
+		d, err := ws.BuildDAG(g, w, t, tolT)
 		if err != nil {
-			return nil, fmt.Errorf("core: DAG for destination %d: %w", t, err)
+			errs[i] = fmt.Errorf("core: DAG for destination %d: %w", t, err)
+			return
 		}
-		dags[t] = d
+		built[i] = d.Clone()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	dags := make(map[int]*graph.DAG, len(dests))
+	for i, t := range dests {
+		dags[t] = built[i]
 	}
 	second, err := SecondWeights(ctx, g, tm, dags, budget, sopts)
 	if err != nil {

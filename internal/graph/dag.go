@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // DAG is the destination-rooted shortest-path DAG ON_t of the paper: the
 // set of links that lie on some (tolerance-)shortest path toward Dst.
@@ -26,11 +23,66 @@ type DAG struct {
 	In [][]int
 	// Tol is the equal-cost tolerance the DAG was built with.
 	Tol float64
+	// order caches NodesDescending (computed at construction by the
+	// builders; lazily for hand-assembled DAGs). Caching it makes every
+	// downstream traversal — PropagateDown, ExponentialSplits,
+	// CountPaths — allocation- and sort-free.
+	order []int
+}
+
+// buildDAG populates the arena-or-fresh DAG d from distances already in
+// d.Dist: link membership, adjacency, and the cached processing order.
+// d.Out/d.In must have length NumNodes; their per-node slices are
+// truncated and refilled, retaining capacity (the workspace arena's
+// zero-allocation steady state).
+func buildDAG(g *Graph, weights []float64, d *DAG, downward bool, eps float64) {
+	for u := range d.Out {
+		d.Out[u] = d.Out[u][:0]
+		d.In[u] = d.In[u][:0]
+	}
+	for i := range g.links {
+		l := &g.links[i]
+		du, dv := d.Dist[l.From], d.Dist[l.To]
+		if du == Unreachable || dv == Unreachable {
+			continue
+		}
+		if dv >= du {
+			continue
+		}
+		if !downward && dv+weights[l.ID]-du > eps {
+			continue
+		}
+		d.Out[l.From] = append(d.Out[l.From], l.ID)
+		d.In[l.To] = append(d.In[l.To], l.ID)
+	}
+	d.order = appendNodesDescending(d.order[:0], d.Dist)
+}
+
+// appendNodesDescending appends the reachable nodes ordered by
+// decreasing distance (ties by increasing ID) onto buf.
+func appendNodesDescending(buf []int, dist []float64) []int {
+	for u, du := range dist {
+		if du != Unreachable {
+			buf = append(buf, u)
+		}
+	}
+	sortNodesByDistDesc(buf, dist)
+	return buf
+}
+
+// dagEps widens a zero tolerance to the floating-point slack used for
+// exact shortest paths.
+func dagEps(tol float64) float64 {
+	if tol == 0 {
+		return 1e-12
+	}
+	return tol
 }
 
 // BuildDAG computes the shortest-path DAG toward dst under the given
 // weights with the given equal-cost tolerance (tol >= 0; 0 keeps exact
-// shortest paths only, up to floating-point slack of 1e-12).
+// shortest paths only, up to floating-point slack of 1e-12). It
+// allocates a fresh DAG; iterative callers use Workspace.BuildDAG.
 func BuildDAG(g *Graph, weights []float64, dst int, tol float64) (*DAG, error) {
 	if tol < 0 {
 		return nil, fmt.Errorf("graph: negative tolerance %v", tol)
@@ -39,10 +91,6 @@ func BuildDAG(g *Graph, weights []float64, dst int, tol float64) (*DAG, error) {
 	if err != nil {
 		return nil, err
 	}
-	eps := tol
-	if eps == 0 {
-		eps = 1e-12
-	}
 	d := &DAG{
 		Dst:  dst,
 		Dist: sp.Dist,
@@ -50,38 +98,40 @@ func BuildDAG(g *Graph, weights []float64, dst int, tol float64) (*DAG, error) {
 		In:   make([][]int, g.NumNodes()),
 		Tol:  tol,
 	}
-	for _, l := range g.links {
-		du, dv := sp.Dist[l.From], sp.Dist[l.To]
-		if du == Unreachable || dv == Unreachable {
-			continue
-		}
-		if dv+weights[l.ID]-du <= eps && dv < du {
-			d.Out[l.From] = append(d.Out[l.From], l.ID)
-			d.In[l.To] = append(d.In[l.To], l.ID)
-		}
+	buildDAG(g, weights, d, false, dagEps(tol))
+	return d, nil
+}
+
+// BuildDAG is the workspace-backed form of the package-level BuildDAG:
+// bit-identical membership and distances, zero allocation in steady
+// state (the adjacency arena retains per-node capacity across calls).
+// The returned DAG shares workspace storage and is valid until the next
+// call on ws; Clone it to retain it.
+func (ws *Workspace) BuildDAG(g *Graph, weights []float64, dst int, tol float64) (*DAG, error) {
+	if tol < 0 {
+		return nil, fmt.Errorf("graph: negative tolerance %v", tol)
 	}
+	sp, err := ws.DijkstraTo(g, weights, dst)
+	if err != nil {
+		return nil, err
+	}
+	d := &ws.dag
+	d.Dst, d.Dist, d.Tol = dst, sp.Dist, tol
+	buildDAG(g, weights, d, false, dagEps(tol))
 	return d, nil
 }
 
 // NodesDescending returns the nodes that can reach Dst ordered by
 // decreasing distance (Dst last). This is the processing order of the
 // paper's Algorithm 3 (TrafficDistribution): by the time a node is
-// visited, all upstream traffic into it has been accumulated.
+// visited, all upstream traffic into it has been accumulated. The DAG
+// builders cache the order at construction; the returned slice is
+// shared and must not be modified.
 func (d *DAG) NodesDescending() []int {
-	var nodes []int
-	for u, dist := range d.Dist {
-		if dist != Unreachable {
-			nodes = append(nodes, u)
-		}
+	if d.order == nil {
+		d.order = appendNodesDescending(make([]int, 0, len(d.Dist)), d.Dist)
 	}
-	sort.Slice(nodes, func(i, j int) bool {
-		a, b := nodes[i], nodes[j]
-		if d.Dist[a] != d.Dist[b] {
-			return d.Dist[a] > d.Dist[b]
-		}
-		return a < b
-	})
-	return nodes
+	return d.order
 }
 
 // HasLink reports whether link id is part of the DAG.

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -41,99 +40,171 @@ type pqItem struct {
 	dist float64
 }
 
+// priorityQueue is an indexed binary min-heap over (node, dist) pairs.
+// It is manipulated directly (push/fix/popMin) rather than through
+// container/heap so no value is boxed into an interface on the hot path.
 type priorityQueue struct {
 	items []pqItem
 	pos   []int // node -> index in items, or -1
 }
 
-func (q *priorityQueue) Len() int { return len(q.items) }
+func (q *priorityQueue) less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
 
-func (q *priorityQueue) Less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
-
-func (q *priorityQueue) Swap(i, j int) {
+func (q *priorityQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
 	q.pos[q.items[i].node] = i
 	q.pos[q.items[j].node] = j
 }
 
-func (q *priorityQueue) Push(x any) {
-	it := x.(pqItem)
-	q.pos[it.node] = len(q.items)
-	q.items = append(q.items, it)
+// clear empties the heap and marks every node absent.
+func (q *priorityQueue) clear(n int) {
+	q.items = q.items[:0]
+	for i := 0; i < n; i++ {
+		q.pos[i] = -1
+	}
 }
 
-func (q *priorityQueue) Pop() any {
+func (q *priorityQueue) push(node int, dist float64) {
+	q.pos[node] = len(q.items)
+	q.items = append(q.items, pqItem{node: node, dist: dist})
+	q.up(len(q.items) - 1)
+}
+
+// decrease lowers node's key to dist (the node must be in the heap).
+func (q *priorityQueue) decrease(node int, dist float64) {
+	i := q.pos[node]
+	q.items[i].dist = dist
+	q.up(i)
+}
+
+func (q *priorityQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *priorityQueue) down(i int) {
 	n := len(q.items)
-	it := q.items[n-1]
-	q.items = q.items[:n-1]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && q.less(r, child) {
+			child = r
+		}
+		if !q.less(child, i) {
+			return
+		}
+		q.swap(i, child)
+		i = child
+	}
+}
+
+// popMin removes and returns the minimum item.
+func (q *priorityQueue) popMin() pqItem {
+	it := q.items[0]
+	n := len(q.items) - 1
+	q.swap(0, n)
+	q.items = q.items[:n]
 	q.pos[it.node] = -1
+	if n > 0 {
+		q.down(0)
+	}
 	return it
+}
+
+// dijkstraTo is the shared kernel behind DijkstraTo and
+// Workspace.DijkstraTo: reverse Dijkstra over incoming links with an
+// indexed heap, writing distances into dist (length NumNodes) using the
+// given heap scratch. It performs no allocation.
+func dijkstraTo(g *Graph, weights []float64, dst int, dist []float64, q *priorityQueue) {
+	n := g.NumNodes()
+	for i := 0; i < n; i++ {
+		dist[i] = Unreachable
+	}
+	dist[dst] = 0
+	q.clear(n)
+	q.push(dst, 0)
+	for len(q.items) > 0 {
+		it := q.popMin()
+		for _, id := range g.InLinks(it.node) {
+			from := g.links[id].From
+			cand := it.dist + weights[id]
+			if cand < dist[from] {
+				dist[from] = cand
+				if q.pos[from] >= 0 {
+					q.decrease(from, cand)
+				} else {
+					q.push(from, cand)
+				}
+			}
+		}
+	}
+}
+
+// checkSP validates the (weights, dst) pair shared by every
+// shortest-path entry point.
+func checkSP(g *Graph, weights []float64, dst int) error {
+	if err := checkWeights(g, weights); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= g.NumNodes() {
+		return fmt.Errorf("graph: destination %d out of range", dst)
+	}
+	return nil
 }
 
 // DijkstraTo computes the shortest distance from every node to dst under
 // the given non-negative per-link weights (reverse Dijkstra over incoming
 // links). This is the destination-rooted orientation used by link-state
-// routing protocols.
+// routing protocols. It allocates a fresh result; iterative callers use
+// Workspace.DijkstraTo, which reuses buffers and allocates nothing in
+// steady state.
 func DijkstraTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
-	if err := checkWeights(g, weights); err != nil {
+	if err := checkSP(g, weights, dst); err != nil {
 		return nil, err
-	}
-	if dst < 0 || dst >= g.NumNodes() {
-		return nil, fmt.Errorf("graph: destination %d out of range", dst)
 	}
 	n := g.NumNodes()
 	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	dist[dst] = 0
-
-	q := &priorityQueue{pos: make([]int, n)}
-	for i := range q.pos {
-		q.pos[i] = -1
-	}
-	heap.Push(q, pqItem{node: dst, dist: 0})
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if it.dist > dist[it.node] {
-			continue // stale entry
-		}
-		for _, id := range g.InLinks(it.node) {
-			l := g.Link(id)
-			cand := it.dist + weights[id]
-			if cand < dist[l.From] {
-				dist[l.From] = cand
-				if q.pos[l.From] >= 0 {
-					q.items[q.pos[l.From]].dist = cand
-					heap.Fix(q, q.pos[l.From])
-				} else {
-					heap.Push(q, pqItem{node: l.From, dist: cand})
-				}
-			}
-		}
-	}
+	q := &priorityQueue{items: make([]pqItem, 0, n), pos: make([]int, n)}
+	dijkstraTo(g, weights, dst, dist, q)
 	return &SPResult{Dst: dst, Dist: dist}, nil
 }
 
-// BellmanFordTo computes the same destination-rooted distances as
-// DijkstraTo using Bellman-Ford relaxation. It exists as an independent
-// oracle for testing and tolerates zero weights the same way.
-func BellmanFordTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
-	if err := checkWeights(g, weights); err != nil {
+// DijkstraTo is the workspace-backed form of the package-level
+// DijkstraTo: bit-identical distances, zero allocation in steady state.
+// The returned result shares workspace storage and is valid until the
+// next call on ws.
+func (ws *Workspace) DijkstraTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
+	if err := checkSP(g, weights, dst); err != nil {
 		return nil, err
 	}
-	if dst < 0 || dst >= g.NumNodes() {
-		return nil, fmt.Errorf("graph: destination %d out of range", dst)
-	}
+	ws.fit(g)
+	dijkstraTo(g, weights, dst, ws.dist, &ws.pq)
+	ws.sp = SPResult{Dst: dst, Dist: ws.dist}
+	return &ws.sp, nil
+}
+
+// bellmanFordTo relaxes every link until a pass settles (no distance
+// changed), writing destination-rooted distances into dist. At most
+// NumNodes passes run; each pass is a single allocation-free sweep over
+// the link table.
+func bellmanFordTo(g *Graph, weights []float64, dst int, dist []float64) {
 	n := g.NumNodes()
-	dist := make([]float64, n)
-	for i := range dist {
+	for i := 0; i < n; i++ {
 		dist[i] = Unreachable
 	}
 	dist[dst] = 0
 	for iter := 0; iter < n; iter++ {
 		changed := false
-		for _, l := range g.links {
+		for i := range g.links {
+			l := &g.links[i]
 			if dist[l.To] == Unreachable {
 				continue
 			}
@@ -143,10 +214,37 @@ func BellmanFordTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
 			}
 		}
 		if !changed {
-			break
+			break // settled pass: every further pass would be identical
 		}
 	}
+}
+
+// BellmanFordTo computes the same destination-rooted distances as
+// DijkstraTo using Bellman-Ford relaxation. It exists as an independent
+// oracle for testing and tolerates zero weights the same way.
+func BellmanFordTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
+	if err := checkSP(g, weights, dst); err != nil {
+		return nil, err
+	}
+	dist := make([]float64, g.NumNodes())
+	bellmanFordTo(g, weights, dst, dist)
 	return &SPResult{Dst: dst, Dist: dist}, nil
+}
+
+// BellmanFordTo is the workspace-backed form of the package-level
+// BellmanFordTo: the distance buffer is reused across calls (the
+// cross-check oracle runs once per destination per topology, so the
+// per-call O(V) buffer used to dominate its allocation profile). The
+// result shares workspace storage and is valid until the next call on
+// ws.
+func (ws *Workspace) BellmanFordTo(g *Graph, weights []float64, dst int) (*SPResult, error) {
+	if err := checkSP(g, weights, dst); err != nil {
+		return nil, err
+	}
+	ws.fit(g)
+	bellmanFordTo(g, weights, dst, ws.dist)
+	ws.sp = SPResult{Dst: dst, Dist: ws.dist}
+	return &ws.sp, nil
 }
 
 // Reachable reports whether every node can reach dst (used to validate

@@ -1,11 +1,3 @@
-// Package graph provides the directed-graph substrate shared by every
-// component of the SPEF reproduction: capacitated multigraphs, shortest
-// paths (Dijkstra and Bellman-Ford), shortest-path DAG extraction with an
-// equal-cost tolerance, and path enumeration utilities.
-//
-// Nodes are dense integer IDs 0..N-1 with optional human-readable names.
-// Links are directed and identified by their dense index; parallel links
-// between the same node pair are allowed.
 package graph
 
 import (

@@ -21,17 +21,61 @@ func DownwardDAG(g *Graph, weights []float64, dst int) (*DAG, error) {
 		In:   make([][]int, g.NumNodes()),
 		Tol:  math.Inf(1),
 	}
-	for _, l := range g.links {
-		du, dv := sp.Dist[l.From], sp.Dist[l.To]
-		if du == Unreachable || dv == Unreachable {
+	buildDAG(g, weights, d, true, 0)
+	return d, nil
+}
+
+// DownwardDAG is the workspace-backed form of the package-level
+// DownwardDAG. The returned DAG shares workspace storage and is valid
+// until the next call on ws; Clone it to retain it.
+func (ws *Workspace) DownwardDAG(g *Graph, weights []float64, dst int) (*DAG, error) {
+	sp, err := ws.DijkstraTo(g, weights, dst)
+	if err != nil {
+		return nil, err
+	}
+	d := &ws.dag
+	d.Dst, d.Dist, d.Tol = dst, sp.Dist, math.Inf(1)
+	buildDAG(g, weights, d, true, 0)
+	return d, nil
+}
+
+// exponentialSplits is the shared kernel behind ExponentialSplits and
+// its workspace form: ratio (length NumLinks) and logZ (length NumNodes)
+// are fully overwritten. It performs no allocation.
+func exponentialSplits(g *Graph, d *DAG, cost, ratio, logZ []float64) {
+	for i := range ratio {
+		ratio[i] = 0
+	}
+	for i := range logZ {
+		logZ[i] = math.Inf(-1)
+	}
+	logZ[d.Dst] = 0
+	nodes := d.NodesDescending() // destination last
+	for i := len(nodes) - 1; i >= 0; i-- {
+		u := nodes[i]
+		if u == d.Dst || len(d.Out[u]) == 0 {
 			continue
 		}
-		if dv < du {
-			d.Out[l.From] = append(d.Out[l.From], l.ID)
-			d.In[l.To] = append(d.In[l.To], l.ID)
+		maxTerm := math.Inf(-1)
+		for _, id := range d.Out[u] {
+			if t := -cost[id] + logZ[g.links[id].To]; t > maxTerm {
+				maxTerm = t
+			}
+		}
+		var sum float64
+		for _, id := range d.Out[u] {
+			sum += math.Exp(-cost[id] + logZ[g.links[id].To] - maxTerm)
+		}
+		logZ[u] = maxTerm + math.Log(sum)
+	}
+	for _, u := range nodes {
+		if u == d.Dst {
+			continue
+		}
+		for _, id := range d.Out[u] {
+			ratio[id] = math.Exp(-cost[id] + logZ[g.links[id].To] - logZ[u])
 		}
 	}
-	return d, nil
 }
 
 // ExponentialSplits computes, for every DAG link, the exponentially
@@ -47,68 +91,39 @@ func DownwardDAG(g *Graph, weights []float64, dst int) (*DAG, error) {
 // With cost = the SPEF second weights on the equal-cost DAG this is the
 // paper's Eq. (22); with cost = the PEFT extra-length penalty on the
 // downward DAG it is PEFT's flow split; with cost = 0 it splits by path
-// count.
+// count. It allocates fresh result slices; iterative callers use
+// Workspace.ExponentialSplits.
 func ExponentialSplits(g *Graph, d *DAG, cost []float64) (ratio, logZ []float64) {
-	logZ = make([]float64, g.NumNodes())
-	for i := range logZ {
-		logZ[i] = math.Inf(-1)
-	}
-	logZ[d.Dst] = 0
-	nodes := d.NodesDescending() // destination last
-	for i := len(nodes) - 1; i >= 0; i-- {
-		u := nodes[i]
-		if u == d.Dst || len(d.Out[u]) == 0 {
-			continue
-		}
-		maxTerm := math.Inf(-1)
-		for _, id := range d.Out[u] {
-			if t := -cost[id] + logZ[g.Link(id).To]; t > maxTerm {
-				maxTerm = t
-			}
-		}
-		var sum float64
-		for _, id := range d.Out[u] {
-			sum += math.Exp(-cost[id] + logZ[g.Link(id).To] - maxTerm)
-		}
-		logZ[u] = maxTerm + math.Log(sum)
-	}
 	ratio = make([]float64, g.NumLinks())
-	for _, u := range nodes {
-		if u == d.Dst {
-			continue
-		}
-		for _, id := range d.Out[u] {
-			ratio[id] = math.Exp(-cost[id] + logZ[g.Link(id).To] - logZ[u])
-		}
-	}
+	logZ = make([]float64, g.NumNodes())
+	exponentialSplits(g, d, cost, ratio, logZ)
 	return ratio, logZ
 }
 
-// PropagateDown pushes a per-source demand vector (demand[s] = traffic
-// entering at s destined to the DAG's destination) down the DAG using
-// the given per-link split ratios: ratio[id] is the fraction of the
-// traffic accumulated at the link's tail that the tail forwards on link
-// id. For every node with traffic, the ratios of its DAG out-links must
-// sum to 1 (within 1e-6). Returns the per-link flow of this commodity.
-//
-// This is the common engine of the paper's Algorithm 3
-// (TrafficDistribution), OSPF's even ECMP split, and PEFT's exponential
-// split: they differ only in how the ratios are computed.
-func PropagateDown(g *Graph, d *DAG, demand []float64, ratio []float64) ([]float64, error) {
-	if len(demand) != g.NumNodes() {
-		return nil, fmt.Errorf("graph: demand vector has %d entries for %d nodes", len(demand), g.NumNodes())
+// ExponentialSplits is the workspace-backed form of the package-level
+// ExponentialSplits: bit-identical ratios, zero allocation in steady
+// state. The returned slices share workspace storage and are valid
+// until the next call on ws.
+func (ws *Workspace) ExponentialSplits(g *Graph, d *DAG, cost []float64) (ratio, logZ []float64) {
+	ws.fit(g)
+	exponentialSplits(g, d, cost, ws.ratio, ws.logZ)
+	return ws.ratio, ws.logZ
+}
+
+// propagateDown is the shared kernel behind PropagateDown and
+// PropagateDownInto: it overwrites flow (length NumLinks) with the
+// per-link volumes of this commodity, using acc (length NumNodes) as
+// the per-node accumulator. It performs no allocation on success.
+func propagateDown(g *Graph, d *DAG, demand, ratio, flow, acc []float64) error {
+	for i := range flow {
+		flow[i] = 0
 	}
-	if len(ratio) != g.NumLinks() {
-		return nil, fmt.Errorf("graph: ratio vector has %d entries for %d links", len(ratio), g.NumLinks())
-	}
-	flow := make([]float64, g.NumLinks())
-	acc := make([]float64, g.NumNodes())
 	for s, v := range demand {
 		if v < 0 {
-			return nil, fmt.Errorf("graph: negative demand %v at node %d", v, s)
+			return fmt.Errorf("graph: negative demand %v at node %d", v, s)
 		}
 		if v > 0 && d.Dist[s] == Unreachable {
-			return nil, fmt.Errorf("graph: demand at node %d cannot reach destination %d", s, d.Dst)
+			return fmt.Errorf("graph: demand at node %d cannot reach destination %d", s, d.Dst)
 		}
 		acc[s] = v
 	}
@@ -121,13 +136,67 @@ func PropagateDown(g *Graph, d *DAG, demand []float64, ratio []float64) ([]float
 			sum += ratio[id]
 		}
 		if math.Abs(sum-1) > 1e-6 {
-			return nil, fmt.Errorf("graph: split ratios at node %d sum to %v toward destination %d", u, sum, d.Dst)
+			return fmt.Errorf("graph: split ratios at node %d sum to %v toward destination %d", u, sum, d.Dst)
 		}
 		for _, id := range d.Out[u] {
 			amt := acc[u] * ratio[id]
 			flow[id] += amt
-			acc[g.Link(id).To] += amt
+			acc[g.links[id].To] += amt
 		}
 	}
+	return nil
+}
+
+// checkPropagate validates the demand and ratio vector shapes shared by
+// both propagation entry points.
+func checkPropagate(g *Graph, demand, ratio []float64) error {
+	if len(demand) != g.NumNodes() {
+		return fmt.Errorf("graph: demand vector has %d entries for %d nodes", len(demand), g.NumNodes())
+	}
+	if len(ratio) != g.NumLinks() {
+		return fmt.Errorf("graph: ratio vector has %d entries for %d links", len(ratio), g.NumLinks())
+	}
+	return nil
+}
+
+// PropagateDown pushes a per-source demand vector (demand[s] = traffic
+// entering at s destined to the DAG's destination) down the DAG using
+// the given per-link split ratios: ratio[id] is the fraction of the
+// traffic accumulated at the link's tail that the tail forwards on link
+// id. For every node with traffic, the ratios of its DAG out-links must
+// sum to 1 (within 1e-6). Returns the per-link flow of this commodity.
+//
+// This is the common engine of the paper's Algorithm 3
+// (TrafficDistribution), OSPF's even ECMP split, and PEFT's exponential
+// split: they differ only in how the ratios are computed. It allocates
+// a fresh flow vector; iterative callers use
+// Workspace.PropagateDownInto.
+func PropagateDown(g *Graph, d *DAG, demand []float64, ratio []float64) ([]float64, error) {
+	if err := checkPropagate(g, demand, ratio); err != nil {
+		return nil, err
+	}
+	flow := make([]float64, g.NumLinks())
+	acc := make([]float64, g.NumNodes())
+	if err := propagateDown(g, d, demand, ratio, flow, acc); err != nil {
+		return nil, err
+	}
 	return flow, nil
+}
+
+// PropagateDownInto is the workspace-backed form of PropagateDown: it
+// overwrites flow (length NumLinks, typically a per-commodity vector
+// the caller retains) with bit-identical volumes and allocates nothing
+// in steady state — the per-node accumulator comes from the workspace
+// and the DAG's cached node order replaces the per-call sort.
+func (ws *Workspace) PropagateDownInto(g *Graph, d *DAG, demand, ratio, flow []float64) error {
+	if err := checkPropagate(g, demand, ratio); err != nil {
+		return err
+	}
+	if len(flow) != g.NumLinks() {
+		return fmt.Errorf("graph: flow vector has %d entries for %d links", len(flow), g.NumLinks())
+	}
+	ws.fit(g)
+	// acc needs no pre-zeroing: the demand loop in propagateDown writes
+	// every entry before the propagation pass reads any.
+	return propagateDown(g, d, demand, ratio, flow, ws.acc)
 }

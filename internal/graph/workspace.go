@@ -1,0 +1,226 @@
+package graph
+
+import "sync"
+
+// Workspace is a reusable scratch arena for the shortest-path kernels:
+// it owns the indexed heap, distance/visited buffers, the DAG arena and
+// the ratio/flow/accumulator vectors those kernels need, sized to one
+// topology shape (node and link counts). After a first warm-up call the
+// workspace-backed kernels — DijkstraTo, BellmanFordTo, BuildDAG,
+// DownwardDAG, ExponentialSplits, PropagateDownInto — run without any
+// heap allocation, which is what makes the iterative optimizers
+// (Algorithm 1's per-iteration routing, Algorithm 2's per-iteration
+// traffic distribution) and the scenario sweeps allocation-free in
+// steady state.
+//
+// A Workspace is NOT safe for concurrent use: every scenario or
+// per-destination worker owns its own (see WorkspacePool). Results that
+// share workspace storage — the SPResult of DijkstraTo, the DAG of
+// BuildDAG, the slices of ExponentialSplits — are valid only until the
+// next call on the same workspace; callers that retain them across
+// calls must Clone them.
+type Workspace struct {
+	nodes, links int
+
+	dist []float64 // shortest-path distances (shared by Dijkstra/BF/DAG)
+	sp   SPResult  // header returned by DijkstraTo/BellmanFordTo
+	pq   priorityQueue
+
+	dag   DAG       // DAG arena: per-node adjacency kept at capacity
+	acc   []float64 // per-node accumulator of PropagateDownInto
+	ratio []float64 // per-link ratios of ExponentialSplits
+	logZ  []float64 // per-node log-partition of ExponentialSplits
+
+	demand []float64 // per-node demand scratch for callers (DemandBuffer)
+	order  []int     // node-order scratch for the all-or-nothing kernel
+	next   []int     // next-hop scratch for the all-or-nothing kernel
+}
+
+// NewWorkspace returns a workspace sized for g's shape.
+func NewWorkspace(g *Graph) *Workspace {
+	ws := &Workspace{}
+	ws.Reset(g)
+	return ws
+}
+
+// Reset re-sizes the workspace for g's shape, growing buffers as needed
+// and retaining their capacity. Buffers are reused across topologies of
+// compatible shape, so a pooled workspace survives graph changes.
+func (ws *Workspace) Reset(g *Graph) {
+	n, m := g.NumNodes(), g.NumLinks()
+	ws.nodes, ws.links = n, m
+	ws.dist = growFloats(ws.dist, n)
+	ws.acc = growFloats(ws.acc, n)
+	ws.logZ = growFloats(ws.logZ, n)
+	ws.demand = growFloats(ws.demand, n)
+	ws.ratio = growFloats(ws.ratio, m)
+	ws.order = growInts(ws.order, n)
+	ws.next = growInts(ws.next, n)
+	ws.pq.pos = growInts(ws.pq.pos, n)
+	if cap(ws.pq.items) < n {
+		ws.pq.items = make([]pqItem, 0, n)
+	}
+	ws.dag.reset(n)
+}
+
+// fit re-sizes for g only when the shape changed, so hot loops over one
+// topology pay a two-int comparison.
+func (ws *Workspace) fit(g *Graph) {
+	if ws.nodes != g.NumNodes() || ws.links != g.NumLinks() {
+		ws.Reset(g)
+	}
+}
+
+// DemandBuffer returns the workspace's per-node demand scratch slice
+// (length NumNodes). Intended for traffic.Matrix.ToDestinationInto-style
+// fills; valid until the next Reset.
+func (ws *Workspace) DemandBuffer(g *Graph) []float64 {
+	ws.fit(g)
+	return ws.demand[:g.NumNodes()]
+}
+
+// AccBuffer returns the workspace's per-node accumulator scratch
+// (length NumNodes, contents unspecified). Shared with
+// PropagateDownInto, which fully overwrites it.
+func (ws *Workspace) AccBuffer(g *Graph) []float64 {
+	ws.fit(g)
+	return ws.acc[:g.NumNodes()]
+}
+
+// NextBuffer returns the workspace's per-node next-hop scratch (length
+// NumNodes, contents unspecified) — the chosen-out-link table of the
+// all-or-nothing assignment.
+func (ws *Workspace) NextBuffer(g *Graph) []int {
+	ws.fit(g)
+	return ws.next[:g.NumNodes()]
+}
+
+// NodesByDistDesc returns the nodes reachable in sp ordered by
+// decreasing distance, ties by increasing ID — the same order DAGs
+// cache. The returned slice is workspace-owned scratch, valid until the
+// next call on ws.
+func (ws *Workspace) NodesByDistDesc(sp *SPResult) []int {
+	ws.order = appendNodesDescending(ws.order[:0], sp.Dist)
+	return ws.order
+}
+
+// growFloats returns a slice of length n, reusing s's storage when it
+// is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// reset prepares the DAG arena for n nodes: adjacency lists keep their
+// capacity and are truncated to zero length on (re)use.
+func (d *DAG) reset(n int) {
+	if cap(d.Out) < n {
+		out := make([][]int, n)
+		copy(out, d.Out)
+		d.Out = out
+		in := make([][]int, n)
+		copy(in, d.In)
+		d.In = in
+	}
+	d.Out = d.Out[:n]
+	d.In = d.In[:n]
+	if cap(d.order) < n {
+		d.order = make([]int, 0, n)
+	}
+}
+
+// Clone returns a deep copy of the DAG that is independent of any
+// workspace arena — the form to retain when the DAG was produced by a
+// workspace-backed builder.
+func (d *DAG) Clone() *DAG {
+	c := &DAG{
+		Dst:   d.Dst,
+		Dist:  append([]float64(nil), d.Dist...),
+		Out:   make([][]int, len(d.Out)),
+		In:    make([][]int, len(d.In)),
+		Tol:   d.Tol,
+		order: append([]int(nil), d.order...),
+	}
+	for u := range d.Out {
+		c.Out[u] = append([]int(nil), d.Out[u]...)
+	}
+	for u := range d.In {
+		c.In[u] = append([]int(nil), d.In[u]...)
+	}
+	return c
+}
+
+// WorkspacePool is a concurrency-safe free list of workspaces. Workers
+// of the parallel per-destination and scenario loops Get a private
+// workspace, run their kernels allocation-free, and Put it back; the
+// pool re-fits recycled workspaces to whatever topology the next caller
+// brings.
+type WorkspacePool struct {
+	p sync.Pool
+}
+
+// Get returns a workspace fitted to g (recycled when available).
+func (wp *WorkspacePool) Get(g *Graph) *Workspace {
+	if ws, ok := wp.p.Get().(*Workspace); ok {
+		ws.fit(g)
+		return ws
+	}
+	return NewWorkspace(g)
+}
+
+// Put recycles a workspace obtained from Get.
+func (wp *WorkspacePool) Put(ws *Workspace) {
+	if ws != nil {
+		wp.p.Put(ws)
+	}
+}
+
+// sortNodesByDistDesc sorts nodes in place by decreasing dist, breaking
+// ties by increasing node ID — the processing order of the paper's
+// Algorithm 3 and of the all-or-nothing assignment. Hand-rolled heapsort
+// so the hot paths stay allocation-free (sort.Slice boxes its closure).
+func sortNodesByDistDesc(nodes []int, dist []float64) {
+	n := len(nodes)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownDistDesc(nodes, dist, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		nodes[0], nodes[i] = nodes[i], nodes[0]
+		siftDownDistDesc(nodes, dist, 0, i)
+	}
+}
+
+// nodeAfter reports whether a sorts after b in the decreasing-distance,
+// increasing-ID order (the heapsort's max-of-the-tail comparison).
+func nodeAfter(dist []float64, a, b int) bool {
+	if dist[a] != dist[b] {
+		return dist[a] < dist[b]
+	}
+	return a > b
+}
+
+func siftDownDistDesc(nodes []int, dist []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && nodeAfter(dist, nodes[r], nodes[child]) {
+			child = r
+		}
+		if !nodeAfter(dist, nodes[child], nodes[root]) {
+			return // root already sorts after both children
+		}
+		nodes[root], nodes[child] = nodes[child], nodes[root]
+		root = child
+	}
+}

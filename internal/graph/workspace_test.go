@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWorkspaceKernelsBitIdentical proves the workspace-backed kernels
+// compute exactly (bitwise) what their allocating counterparts compute,
+// across random graphs, weights and destinations — including after the
+// workspace has been refitted to other shapes (pool recycling).
+func TestWorkspaceKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := &Workspace{}
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(14)
+		g, w := randomGraph(rng, n, rng.Intn(3*n))
+		ws.Reset(g)
+		dst := rng.Intn(n)
+		tol := 0.0
+		if rng.Intn(2) == 1 {
+			tol = rng.Float64()
+		}
+
+		spA, err := DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: DijkstraTo: %v", trial, err)
+		}
+		spB, err := ws.DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: ws.DijkstraTo: %v", trial, err)
+		}
+		for u := range spA.Dist {
+			if spA.Dist[u] != spB.Dist[u] {
+				t.Fatalf("trial %d: node %d: dist %v != %v", trial, u, spA.Dist[u], spB.Dist[u])
+			}
+		}
+
+		bfA, err := BellmanFordTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: BellmanFordTo: %v", trial, err)
+		}
+		bfB, err := ws.BellmanFordTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: ws.BellmanFordTo: %v", trial, err)
+		}
+		for u := range bfA.Dist {
+			if bfA.Dist[u] != bfB.Dist[u] {
+				t.Fatalf("trial %d: node %d: BF dist %v != %v", trial, u, bfA.Dist[u], bfB.Dist[u])
+			}
+		}
+
+		dagA, err := BuildDAG(g, w, dst, tol)
+		if err != nil {
+			t.Fatalf("trial %d: BuildDAG: %v", trial, err)
+		}
+		dagB, err := ws.BuildDAG(g, w, dst, tol)
+		if err != nil {
+			t.Fatalf("trial %d: ws.BuildDAG: %v", trial, err)
+		}
+		compareDAGs(t, trial, dagA, dagB)
+		retained := dagB.Clone()
+
+		downA, err := DownwardDAG(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: DownwardDAG: %v", trial, err)
+		}
+		downB, err := ws.DownwardDAG(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: ws.DownwardDAG: %v", trial, err)
+		}
+		compareDAGs(t, trial, downA, downB)
+
+		// The clone must have survived the workspace being rebuilt for
+		// the downward DAG.
+		compareDAGs(t, trial, dagA, retained)
+
+		cost := make([]float64, g.NumLinks())
+		for i := range cost {
+			cost[i] = rng.Float64() * 3
+		}
+		ratioA, logZA := ExponentialSplits(g, dagA, cost)
+		ratioB, logZB := ws.ExponentialSplits(g, retained, cost)
+		for i := range ratioA {
+			if ratioA[i] != ratioB[i] {
+				t.Fatalf("trial %d: link %d: ratio %v != %v", trial, i, ratioA[i], ratioB[i])
+			}
+		}
+		for u := range logZA {
+			if logZA[u] != logZB[u] {
+				t.Fatalf("trial %d: node %d: logZ %v != %v", trial, u, logZA[u], logZB[u])
+			}
+		}
+
+		demand := make([]float64, n)
+		for s := 0; s < n; s++ {
+			if s != dst && dagA.Dist[s] != Unreachable && rng.Intn(2) == 1 {
+				demand[s] = rng.Float64() * 5
+			}
+		}
+		flowA, err := PropagateDown(g, dagA, demand, ratioA)
+		if err != nil {
+			t.Fatalf("trial %d: PropagateDown: %v", trial, err)
+		}
+		flowB := make([]float64, g.NumLinks())
+		if err := ws.PropagateDownInto(g, retained, demand, ratioB, flowB); err != nil {
+			t.Fatalf("trial %d: PropagateDownInto: %v", trial, err)
+		}
+		for i := range flowA {
+			if flowA[i] != flowB[i] {
+				t.Fatalf("trial %d: link %d: flow %v != %v", trial, i, flowA[i], flowB[i])
+			}
+		}
+	}
+}
+
+func compareDAGs(t *testing.T, trial int, a, b *DAG) {
+	t.Helper()
+	if a.Dst != b.Dst {
+		t.Fatalf("trial %d: Dst %d != %d", trial, a.Dst, b.Dst)
+	}
+	for u := range a.Dist {
+		if a.Dist[u] != b.Dist[u] {
+			t.Fatalf("trial %d: node %d: DAG dist %v != %v", trial, u, a.Dist[u], b.Dist[u])
+		}
+	}
+	for u := range a.Out {
+		if len(a.Out[u]) != len(b.Out[u]) {
+			t.Fatalf("trial %d: node %d: out-degree %d != %d", trial, u, len(a.Out[u]), len(b.Out[u]))
+		}
+		for i := range a.Out[u] {
+			if a.Out[u][i] != b.Out[u][i] {
+				t.Fatalf("trial %d: node %d: out[%d] = %d != %d", trial, u, i, a.Out[u][i], b.Out[u][i])
+			}
+		}
+		if len(a.In[u]) != len(b.In[u]) {
+			t.Fatalf("trial %d: node %d: in-degree %d != %d", trial, u, len(a.In[u]), len(b.In[u]))
+		}
+	}
+	ordA, ordB := a.NodesDescending(), b.NodesDescending()
+	if len(ordA) != len(ordB) {
+		t.Fatalf("trial %d: order length %d != %d", trial, len(ordA), len(ordB))
+	}
+	for i := range ordA {
+		if ordA[i] != ordB[i] {
+			t.Fatalf("trial %d: order[%d] = %d != %d", trial, i, ordA[i], ordB[i])
+		}
+	}
+}
+
+// cernetLike builds a deterministic mid-size test graph with varied
+// weights for the allocation regressions.
+func allocSetup(t *testing.T) (*Graph, []float64, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g, w := randomGraph(rng, 24, 60)
+	return g, w, 3
+}
+
+// measureAllocs runs fn through testing.AllocsPerRun (which performs
+// one warm-up call, so the arena is sized before measurement starts).
+func measureAllocs(fn func()) float64 {
+	return testing.AllocsPerRun(50, fn)
+}
+
+// TestDijkstraSteadyStateZeroAllocs is the allocation regression for
+// the Dijkstra kernel: after warm-up, Workspace.DijkstraTo allocates
+// nothing.
+func TestDijkstraSteadyStateZeroAllocs(t *testing.T) {
+	g, w, dst := allocSetup(t)
+	ws := NewWorkspace(g)
+	if got := measureAllocs(func() {
+		if _, err := ws.DijkstraTo(g, w, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("ws.DijkstraTo allocates %v objects/op in steady state, want 0", got)
+	}
+}
+
+// TestBellmanFordSteadyStateZeroAllocs covers the satellite fix: the
+// Bellman-Ford cross-check reuses its distance buffer and early-exits
+// on a settled pass.
+func TestBellmanFordSteadyStateZeroAllocs(t *testing.T) {
+	g, w, dst := allocSetup(t)
+	ws := NewWorkspace(g)
+	if got := measureAllocs(func() {
+		if _, err := ws.BellmanFordTo(g, w, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("ws.BellmanFordTo allocates %v objects/op in steady state, want 0", got)
+	}
+}
+
+// TestBuildDAGSteadyStateZeroAllocs is the allocation regression for
+// DAG extraction: the adjacency arena retains per-node capacity.
+func TestBuildDAGSteadyStateZeroAllocs(t *testing.T) {
+	g, w, dst := allocSetup(t)
+	ws := NewWorkspace(g)
+	if got := measureAllocs(func() {
+		if _, err := ws.BuildDAG(g, w, dst, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("ws.BuildDAG allocates %v objects/op in steady state, want 0", got)
+	}
+}
+
+// TestPropagateSteadyStateZeroAllocs is the allocation regression for
+// the propagation kernel (splits + flow push, the Algorithm 2 inner
+// loop).
+func TestPropagateSteadyStateZeroAllocs(t *testing.T) {
+	g, w, dst := allocSetup(t)
+	ws := NewWorkspace(g)
+	dag, err := BuildDAG(g, w, dst, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := make([]float64, g.NumLinks())
+	for i := range cost {
+		cost[i] = float64(i%5) / 3
+	}
+	demand := make([]float64, g.NumNodes())
+	for s := range demand {
+		if s != dst && dag.Dist[s] != Unreachable {
+			demand[s] = float64(s%4) + 1
+		}
+	}
+	flow := make([]float64, g.NumLinks())
+	if got := measureAllocs(func() {
+		ratio, _ := ws.ExponentialSplits(g, dag, cost)
+		if err := ws.PropagateDownInto(g, dag, demand, ratio, flow); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("splits+propagate allocate %v objects/op in steady state, want 0", got)
+	}
+}
+
+// TestWorkspacePoolRefit proves a pooled workspace survives topology
+// changes: kernels stay correct when the same workspace is bounced
+// between differently-shaped graphs.
+func TestWorkspacePoolRefit(t *testing.T) {
+	var pool WorkspacePool
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		g, w := randomGraph(rng, n, rng.Intn(2*n))
+		dst := rng.Intn(n)
+		ws := pool.Get(g)
+		got, err := ws.DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for u := range want.Dist {
+			if got.Dist[u] != want.Dist[u] {
+				t.Fatalf("trial %d: node %d: %v != %v", trial, u, got.Dist[u], want.Dist[u])
+			}
+		}
+		pool.Put(ws)
+	}
+}

@@ -2,11 +2,16 @@ package mcf
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
+
+// workspaces recycles per-worker graph scratch across all-or-nothing
+// calls; every parallel destination worker draws its own arena, so no
+// shortest-path state is ever shared or reallocated in steady state.
+var workspaces graph.WorkspacePool
 
 // AllOrNothing routes every demand entirely along one shortest path under
 // the given link weights (ties broken toward the smallest link ID, so the
@@ -21,94 +26,99 @@ func AllOrNothing(g *graph.Graph, tm *traffic.Matrix, weights []float64) (*Flow,
 // (it must have been created for the same graph and destinations; nil
 // allocates a fresh one). Iterative algorithms call this once per
 // iteration, so reuse removes the dominant allocation.
+//
+// Destinations are routed concurrently: each commodity's assignment
+// depends only on the shared weights and writes only its own per-
+// destination vector, so the result is bit-identical to the sequential
+// loop for any worker count (Total is rebuilt in destination order).
 func AllOrNothingInto(g *graph.Graph, tm *traffic.Matrix, weights []float64, flow *Flow) (*Flow, error) {
 	dests := tm.Destinations()
 	if flow == nil {
 		flow = NewFlow(g, dests)
 	} else {
 		for _, t := range dests {
-			ft, ok := flow.PerDest[t]
-			if !ok {
+			if _, ok := flow.PerDest[t]; !ok {
 				return nil, fmt.Errorf("mcf: reused flow lacks commodity %d", t)
-			}
-			for i := range ft {
-				ft[i] = 0
 			}
 		}
 	}
-	for _, t := range dests {
-		sp, err := graph.DijkstraTo(g, weights, t)
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		ws := workspaces.Get(g)
+		errs[i] = aonDestination(g, tm, weights, dests[i], flow.PerDest[dests[i]], ws)
+		workspaces.Put(ws)
+	})
+	// Scanning in index order keeps the reported failure independent
+	// of scheduling order.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		for s := 0; s < g.NumNodes(); s++ {
-			if tm.At(s, t) > 0 && sp.Dist[s] == graph.Unreachable {
-				return nil, fmt.Errorf("%w: no path from %d to %d", ErrInfeasible, s, t)
-			}
-		}
-		// next[u] is the chosen shortest-path out-link of u toward t.
-		next := make([]int, g.NumNodes())
-		for u := range next {
-			next[u] = -1
-		}
-		for u := 0; u < g.NumNodes(); u++ {
-			if u == t || sp.Dist[u] == graph.Unreachable {
-				continue
-			}
-			for _, id := range g.OutLinks(u) {
-				v := g.Link(id).To
-				if sp.Dist[v] == graph.Unreachable {
-					continue
-				}
-				if sp.Dist[v]+weights[id] <= sp.Dist[u]+1e-12 {
-					next[u] = id
-					break // smallest link ID wins
-				}
-			}
-			if next[u] < 0 && tm.At(u, t) > 0 {
-				return nil, fmt.Errorf("%w: no path from %d to %d", ErrInfeasible, u, t)
-			}
-		}
-		// Accumulate demand down the chosen next-hop chains in decreasing
-		// distance order so each node is processed after all its inflow.
-		order := nodesByDistDesc(sp)
-		acc := make([]float64, g.NumNodes())
-		ft := flow.PerDest[t]
-		for _, u := range order {
-			if u == t {
-				continue
-			}
-			amount := acc[u] + tm.At(u, t)
-			if amount == 0 {
-				continue
-			}
-			id := next[u]
-			if id < 0 {
-				return nil, fmt.Errorf("%w: stranded flow %v at node %d for destination %d", ErrInfeasible, amount, u, t)
-			}
-			ft[id] += amount
-			acc[g.Link(id).To] += amount
 		}
 	}
 	flow.RecomputeTotal()
 	return flow, nil
 }
 
-// nodesByDistDesc orders reachable nodes by decreasing distance,
-// breaking ties by node ID.
-func nodesByDistDesc(sp *graph.SPResult) []int {
-	var nodes []int
-	for u, d := range sp.Dist {
-		if d != graph.Unreachable {
-			nodes = append(nodes, u)
+// aonDestination routes commodity t's demand on shortest paths under
+// weights, overwriting ft (the commodity's per-link vector). All scratch
+// comes from ws, so steady-state calls allocate only on error paths.
+func aonDestination(g *graph.Graph, tm *traffic.Matrix, weights []float64, t int, ft []float64, ws *graph.Workspace) error {
+	sp, err := ws.DijkstraTo(g, weights, t)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < g.NumNodes(); s++ {
+		if tm.At(s, t) > 0 && sp.Dist[s] == graph.Unreachable {
+			return fmt.Errorf("%w: no path from %d to %d", ErrInfeasible, s, t)
 		}
 	}
-	sort.Slice(nodes, func(i, j int) bool {
-		a, b := nodes[i], nodes[j]
-		if sp.Dist[a] != sp.Dist[b] {
-			return sp.Dist[a] > sp.Dist[b]
+	// next[u] is the chosen shortest-path out-link of u toward t.
+	next := ws.NextBuffer(g)
+	for u := range next {
+		next[u] = -1
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if u == t || sp.Dist[u] == graph.Unreachable {
+			continue
 		}
-		return a < b
-	})
-	return nodes
+		for _, id := range g.OutLinks(u) {
+			v := g.Link(id).To
+			if sp.Dist[v] == graph.Unreachable {
+				continue
+			}
+			if sp.Dist[v]+weights[id] <= sp.Dist[u]+1e-12 {
+				next[u] = id
+				break // smallest link ID wins
+			}
+		}
+		if next[u] < 0 && tm.At(u, t) > 0 {
+			return fmt.Errorf("%w: no path from %d to %d", ErrInfeasible, u, t)
+		}
+	}
+	// Accumulate demand down the chosen next-hop chains in decreasing
+	// distance order so each node is processed after all its inflow.
+	order := ws.NodesByDistDesc(sp)
+	acc := ws.AccBuffer(g)
+	for i := range ft {
+		ft[i] = 0
+	}
+	for _, u := range order {
+		acc[u] = 0
+	}
+	for _, u := range order {
+		if u == t {
+			continue
+		}
+		amount := acc[u] + tm.At(u, t)
+		if amount == 0 {
+			continue
+		}
+		id := next[u]
+		if id < 0 {
+			return fmt.Errorf("%w: stranded flow %v at node %d for destination %d", ErrInfeasible, amount, u, t)
+		}
+		ft[id] += amount
+		acc[g.Link(id).To] += amount
+	}
+	return nil
 }

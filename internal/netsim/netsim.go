@@ -140,6 +140,46 @@ type sim struct {
 	delayNs float64
 	nDelay  int
 	pinned  map[flowKey]int // flow-hashing: memoized next hops
+	// freeEvents and freePackets recycle the per-event and per-packet
+	// records: the event population is bounded by queue depth and the
+	// packet population by packets in flight, so after the initial ramp
+	// the simulator stops allocating — scenario workers never grow the
+	// heap per simulated packet.
+	freeEvents  []*event
+	freePackets []*packet
+}
+
+// newEvent returns a zeroed event, recycled when available.
+func (s *sim) newEvent() *event {
+	if n := len(s.freeEvents); n > 0 {
+		e := s.freeEvents[n-1]
+		s.freeEvents = s.freeEvents[:n-1]
+		*e = event{}
+		return e
+	}
+	return &event{}
+}
+
+// freeEvent recycles a popped-and-handled event.
+func (s *sim) freeEvent(e *event) {
+	e.pkt = nil
+	s.freeEvents = append(s.freeEvents, e)
+}
+
+// newPacket returns a zeroed packet, recycled when available.
+func (s *sim) newPacket() *packet {
+	if n := len(s.freePackets); n > 0 {
+		p := s.freePackets[n-1]
+		s.freePackets = s.freePackets[:n-1]
+		*p = packet{}
+		return p
+	}
+	return &packet{}
+}
+
+// freePacket recycles a delivered or dropped packet.
+func (s *sim) freePacket(p *packet) {
+	s.freePackets = append(s.freePackets, p)
 }
 
 // Run executes the simulation and returns per-link mean loads.
@@ -163,7 +203,9 @@ func Run(cfg Config) (*Result, error) {
 
 	// Schedule the first emission of every demand.
 	for i := range cfg.Demands {
-		s.schedule(&event{at: s.nextInterval(i), kind: evSource, src: i})
+		ev := s.newEvent()
+		ev.at, ev.kind, ev.src = s.nextInterval(i), evSource, i
+		s.schedule(ev)
 	}
 	for len(s.q) > 0 && s.q.peekTime() <= cfg.Duration {
 		e := heap.Pop(&s.q).(*event)
@@ -175,6 +217,7 @@ func Run(cfg Config) (*Result, error) {
 		case evTxDone:
 			s.txDone(e)
 		}
+		s.freeEvent(e)
 	}
 	window := cfg.Duration - cfg.Warmup
 	for e := range s.links {
@@ -242,12 +285,17 @@ func (s *sim) nextInterval(i int) float64 {
 func (s *sim) emit(e *event) {
 	d := s.cfg.Demands[e.src]
 	s.res.Generated++
-	pkt := &packet{dst: d.Dst, born: e.at, bits: s.cfg.PacketBits, route: e.src}
+	pkt := s.newPacket()
+	pkt.dst, pkt.born, pkt.bits, pkt.route = d.Dst, e.at, s.cfg.PacketBits, e.src
 	if s.cfg.FlowsPerDemand > 0 {
 		pkt.flow = s.rng.Intn(s.cfg.FlowsPerDemand)
 	}
-	s.schedule(&event{at: e.at, kind: evArrive, node: d.Src, pkt: pkt})
-	s.schedule(&event{at: e.at + s.nextInterval(e.src), kind: evSource, src: e.src})
+	arr := s.newEvent()
+	arr.at, arr.kind, arr.node, arr.pkt = e.at, evArrive, d.Src, pkt
+	s.schedule(arr)
+	src := s.newEvent()
+	src.at, src.kind, src.src = e.at+s.nextInterval(e.src), evSource, e.src
+	s.schedule(src)
 }
 
 // arrive processes a packet reaching a node: deliver or forward.
@@ -259,10 +307,12 @@ func (s *sim) arrive(e *event) {
 			s.delayNs += e.at - pkt.born
 			s.nDelay++
 		}
+		s.freePacket(pkt)
 		return
 	}
 	if pkt.hops > 4*s.cfg.G.NumNodes() {
 		s.res.Dropped++ // forwarding loop safety valve
+		s.freePacket(pkt)
 		return
 	}
 	var link int
@@ -278,6 +328,7 @@ func (s *sim) arrive(e *event) {
 	}
 	if link < 0 {
 		s.res.Dropped++
+		s.freePacket(pkt)
 		return
 	}
 	s.enqueue(link, pkt, e.at)
@@ -308,6 +359,7 @@ func (s *sim) enqueue(link int, pkt *packet, now float64) {
 	ls := &s.links[link]
 	if len(ls.queue) >= s.cfg.BufferPackets {
 		s.res.Dropped++
+		s.freePacket(pkt)
 		return
 	}
 	ls.queue = append(ls.queue, pkt)
@@ -320,7 +372,9 @@ func (s *sim) startTx(link int, now float64) {
 	ls := &s.links[link]
 	pkt := ls.queue[0]
 	ls.busy = true
-	s.schedule(&event{at: now + pkt.bits/ls.rate, kind: evTxDone, link: link, pkt: pkt})
+	done := s.newEvent()
+	done.at, done.kind, done.link, done.pkt = now+pkt.bits/ls.rate, evTxDone, link, pkt
+	s.schedule(done)
 }
 
 func (s *sim) txDone(e *event) {
@@ -333,7 +387,9 @@ func (s *sim) txDone(e *event) {
 	}
 	pkt.hops++
 	head := s.cfg.G.Link(e.link).To
-	s.schedule(&event{at: e.at + s.cfg.PropDelay, kind: evArrive, node: head, pkt: pkt})
+	arr := s.newEvent()
+	arr.at, arr.kind, arr.node, arr.pkt = e.at+s.cfg.PropDelay, evArrive, head, pkt
+	s.schedule(arr)
 	if len(ls.queue) > 0 {
 		s.startTx(e.link, e.at)
 	}

@@ -1,0 +1,111 @@
+// Package par bounds the process-wide compute parallelism of the inner
+// (per-destination) loops so they compose with the outer scenario-level
+// worker pool instead of multiplying against it.
+//
+// A global token pool holds GOMAXPROCS-1 tokens. Every Do call runs
+// items on the calling goroutine — which already occupies a scheduling
+// slot of its own — and additionally on one goroutine per token it
+// manages to acquire; tokens are returned when the call finishes. With
+// S concurrent scenario workers each fanning out over destinations, the
+// total number of running goroutines stays bounded by S plus the token
+// count, whatever the nesting: an oversubscribed pool simply hands out
+// no tokens and every Do degrades to the sequential loop.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the number of extra-worker tokens currently available.
+var tokens atomic.Int64
+
+func init() {
+	tokens.Store(int64(runtime.GOMAXPROCS(0) - 1))
+}
+
+// SetExtraWorkers resets the global token pool to n extra workers
+// (n = 0 forces every Do sequential) and returns the previous size.
+// It is a testing and benchmarking hook: the sequential/parallel parity
+// suites flip it to prove bit-identical results. Calling it while Do
+// calls are in flight leaves the pool miscounted; only use it around
+// quiescent points.
+func SetExtraWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(tokens.Swap(int64(n)))
+}
+
+// acquire takes up to want tokens from the pool and returns how many it
+// got (possibly zero).
+func acquire(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		have := tokens.Load()
+		if have <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > have {
+			take = have
+		}
+		if tokens.CompareAndSwap(have, have-take) {
+			return int(take)
+		}
+	}
+}
+
+func release(n int) {
+	if n > 0 {
+		tokens.Add(int64(n))
+	}
+}
+
+// Do runs fn(0), ..., fn(n-1), using the calling goroutine plus however
+// many extra workers the global token pool grants (possibly none, in
+// which case the loop runs inline). Do returns after every item has
+// completed. fn must confine its writes to item-private state: items
+// run concurrently in arbitrary order, and the result must not depend
+// on that order — which is what keeps parallel evaluation bit-identical
+// to sequential.
+func Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	extra := acquire(n - 1)
+	if extra == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	defer release(extra)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(extra)
+	for w := 0; w < extra; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}

@@ -1,0 +1,67 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversEveryIndexOnce proves each index runs exactly once for
+// various sizes, with and without tokens available.
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, extra := range []int{0, 1, 7} {
+		prev := SetExtraWorkers(extra)
+		for _, n := range []int{0, 1, 2, 3, 17, 256} {
+			counts := make([]atomic.Int64, n)
+			Do(n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("extra=%d n=%d: index %d ran %d times", extra, n, i, got)
+				}
+			}
+		}
+		SetExtraWorkers(prev)
+	}
+}
+
+// TestDoSequentialWithoutTokens proves Do degrades to the inline loop
+// (in index order, on the calling goroutine) when the pool is empty.
+func TestDoSequentialWithoutTokens(t *testing.T) {
+	prev := SetExtraWorkers(0)
+	defer SetExtraWorkers(prev)
+	var order []int
+	Do(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order[%d] = %d", i, v)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d items, want 10", len(order))
+	}
+}
+
+// TestTokensReturned proves Do releases every token it acquires.
+func TestTokensReturned(t *testing.T) {
+	prev := SetExtraWorkers(4)
+	defer SetExtraWorkers(prev)
+	for i := 0; i < 50; i++ {
+		Do(16, func(int) {})
+	}
+	if got := tokens.Load(); got != 4 {
+		t.Fatalf("token pool at %d after quiescence, want 4", got)
+	}
+}
+
+// TestNestedDo proves nested fan-outs complete (inner calls simply see
+// fewer or no tokens — no deadlock, no lost items).
+func TestNestedDo(t *testing.T) {
+	prev := SetExtraWorkers(2)
+	defer SetExtraWorkers(prev)
+	var total atomic.Int64
+	Do(8, func(int) {
+		Do(8, func(int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested Do ran %d inner items, want 64", got)
+	}
+}

@@ -11,11 +11,16 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
 
 // ErrBadInput reports inconsistent arguments.
 var ErrBadInput = errors.New("routing: bad input")
+
+// workspaces recycles per-worker graph scratch across protocol builds;
+// each parallel destination worker draws a private arena.
+var workspaces graph.WorkspacePool
 
 // InvCapWeights returns Cisco-style inverse-capacity OSPF weights,
 // normalized so the largest link gets weight 1: w_e = max{c}/c_e.
@@ -61,12 +66,20 @@ func BuildOSPF(g *graph.Graph, dests []int, weights []float64, tol float64) (*OS
 		DAGs:   make(map[int]*graph.DAG, len(dests)),
 		Splits: make(map[int][]float64, len(dests)),
 	}
-	for _, t := range dests {
-		d, err := graph.BuildDAG(g, weights, t, tol)
+	// Destinations are independent: build each DAG on a parallel worker
+	// with a private workspace, then assemble the maps sequentially.
+	dags := make([]*graph.DAG, len(dests))
+	splits := make([][]float64, len(dests))
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
+		d, err := ws.BuildDAG(g, weights, t, tol)
 		if err != nil {
-			return nil, fmt.Errorf("routing: OSPF DAG for destination %d: %w", t, err)
+			errs[i] = fmt.Errorf("routing: OSPF DAG for destination %d: %w", t, err)
+			return
 		}
-		o.DAGs[t] = d
 		ratio := make([]float64, g.NumLinks())
 		for u := 0; u < g.NumNodes(); u++ {
 			outs := d.Out[u]
@@ -74,25 +87,50 @@ func BuildOSPF(g *graph.Graph, dests []int, weights []float64, tol float64) (*OS
 				ratio[id] = 1 / float64(len(outs))
 			}
 		}
-		o.Splits[t] = ratio
+		dags[i] = d.Clone()
+		splits[i] = ratio
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range dests {
+		o.DAGs[t] = dags[i]
+		o.Splits[t] = splits[i]
 	}
 	return o, nil
 }
 
 // Flow evaluates the deterministic OSPF/ECMP traffic distribution.
 func (o *OSPF) Flow(tm *traffic.Matrix) (*mcf.Flow, error) {
+	return propagateFlow(o.G, o.DAGs, o.Splits, tm, "OSPF")
+}
+
+// propagateFlow evaluates the deterministic distribution induced by
+// per-destination DAGs and split ratios, fanning the independent
+// destinations out over par.Do with per-worker workspaces. Results are
+// bit-identical to the sequential loop for any worker count.
+func propagateFlow(g *graph.Graph, dags map[int]*graph.DAG, splits map[int][]float64, tm *traffic.Matrix, scheme string) (*mcf.Flow, error) {
 	dests := tm.Destinations()
-	flow := mcf.NewFlow(o.G, dests)
+	flow := mcf.NewFlow(g, dests)
 	for _, t := range dests {
-		d, ok := o.DAGs[t]
-		if !ok {
-			return nil, fmt.Errorf("%w: no OSPF state for destination %d", ErrBadInput, t)
+		if _, ok := dags[t]; !ok {
+			return nil, fmt.Errorf("%w: no %s state for destination %d", ErrBadInput, scheme, t)
 		}
-		ft, err := graph.PropagateDown(o.G, d, tm.ToDestination(t), o.Splits[t])
+	}
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
+		demand := tm.ToDestinationInto(t, ws.DemandBuffer(g))
+		errs[i] = ws.PropagateDownInto(g, dags[t], demand, splits[t], flow.PerDest[t])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		flow.PerDest[t] = ft
 	}
 	flow.RecomputeTotal()
 	return flow, nil

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/par"
 	"repro/internal/traffic"
 )
 
@@ -46,10 +47,21 @@ func BuildPEFT(g *graph.Graph, dests []int, weights []float64) (*PEFT, error) {
 		Penalty: make(map[int][]float64, len(dests)),
 		Splits:  make(map[int][]float64, len(dests)),
 	}
-	for _, t := range dests {
-		d, err := graph.DownwardDAG(g, weights, t)
+	// Destinations are independent: build each downward DAG on a
+	// parallel worker with a private workspace, then assemble the maps
+	// sequentially.
+	dags := make([]*graph.DAG, len(dests))
+	pens := make([][]float64, len(dests))
+	splits := make([][]float64, len(dests))
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
+		d, err := ws.DownwardDAG(g, weights, t)
 		if err != nil {
-			return nil, fmt.Errorf("routing: PEFT DAG for destination %d: %w", t, err)
+			errs[i] = fmt.Errorf("routing: PEFT DAG for destination %d: %w", t, err)
+			return
 		}
 		h := make([]float64, g.NumLinks())
 		for u := 0; u < g.NumNodes(); u++ {
@@ -58,31 +70,27 @@ func BuildPEFT(g *graph.Graph, dests []int, weights []float64) (*PEFT, error) {
 				h[id] = weights[id] + d.Dist[l.To] - d.Dist[l.From]
 			}
 		}
-		ratio, _ := graph.ExponentialSplits(g, d, h)
-		p.DAGs[t] = d
-		p.Penalty[t] = h
-		p.Splits[t] = ratio
+		wsRatio, _ := ws.ExponentialSplits(g, d, h)
+		dags[i] = d.Clone()
+		pens[i] = h
+		splits[i] = append([]float64(nil), wsRatio...)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range dests {
+		p.DAGs[t] = dags[i]
+		p.Penalty[t] = pens[i]
+		p.Splits[t] = splits[i]
 	}
 	return p, nil
 }
 
 // Flow evaluates the deterministic PEFT traffic distribution.
 func (p *PEFT) Flow(tm *traffic.Matrix) (*mcf.Flow, error) {
-	dests := tm.Destinations()
-	flow := mcf.NewFlow(p.G, dests)
-	for _, t := range dests {
-		d, ok := p.DAGs[t]
-		if !ok {
-			return nil, fmt.Errorf("%w: no PEFT state for destination %d", ErrBadInput, t)
-		}
-		ft, err := graph.PropagateDown(p.G, d, tm.ToDestination(t), p.Splits[t])
-		if err != nil {
-			return nil, err
-		}
-		flow.PerDest[t] = ft
-	}
-	flow.RecomputeTotal()
-	return flow, nil
+	return propagateFlow(p.G, p.DAGs, p.Splits, tm, "PEFT")
 }
 
 // LinksUsed counts the links that carry at least minLoad under the given

@@ -1,0 +1,33 @@
+package scenario_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// ExampleRun executes independent jobs over a bounded pool and collects
+// results by job index — output is deterministic for any worker count.
+func ExampleRun() {
+	squares := scenario.Run(context.Background(), 5, 3,
+		func(_ context.Context, i int) int { return i * i },
+		func(i int) int { return -1 }, // canceled-job placeholder
+		nil)
+	fmt.Println(squares)
+	// Output:
+	// [0 1 4 9 16]
+}
+
+// ExampleStream delivers each result as its job completes; with one
+// worker, completion order equals job order.
+func ExampleStream() {
+	scenario.Stream(context.Background(), 3, 1,
+		func(_ context.Context, i int) string { return fmt.Sprintf("job %d", i) },
+		func(i int) string { return "canceled" },
+		func(i int, r string) { fmt.Println(i, r) })
+	// Output:
+	// 0 job 0
+	// 1 job 1
+	// 2 job 2
+}

@@ -1,9 +1,3 @@
-// Package scenario provides the bounded worker pool under the public
-// Scenario engine: it executes N independent jobs over a fixed number
-// of goroutines and delivers results either as they complete (Stream —
-// the O(workers)-memory path behind the public streaming API) or
-// collected by job index (Run — deterministic output independent of
-// worker count and of the order in which workers happen to finish).
 package scenario
 
 import (

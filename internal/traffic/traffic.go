@@ -181,7 +181,14 @@ func (m *Matrix) Destinations() []int {
 // ToDestination returns the per-source demand vector d^t for destination
 // t: entry s is the volume entering at s destined to t.
 func (m *Matrix) ToDestination(t int) []float64 {
-	out := make([]float64, m.n)
+	return m.ToDestinationInto(t, make([]float64, m.n))
+}
+
+// ToDestinationInto fills out (length Size) with the per-source demand
+// vector d^t and returns it — the allocation-free form of ToDestination
+// used by the iterative optimizers, which read a destination column on
+// every iteration.
+func (m *Matrix) ToDestinationInto(t int, out []float64) []float64 {
 	for s := 0; s < m.n; s++ {
 		out[s] = m.At(s, t)
 	}

@@ -140,6 +140,8 @@ func MaxStretchMetric() Metric {
 		for i := range unit {
 			unit[i] = 1
 		}
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
 		var worst float64
 		for _, t := range d.m.Destinations() {
 			ft, ok := perDest[t]
@@ -150,7 +152,7 @@ func MaxStretchMetric() Metric {
 			for _, f := range ft {
 				volHops += f
 			}
-			sp, err := graph.DijkstraTo(g, unit, t)
+			sp, err := ws.DijkstraTo(g, unit, t)
 			if err != nil {
 				return 0, err
 			}

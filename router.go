@@ -9,8 +9,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mcf"
+	"repro/internal/par"
 	"repro/internal/routing"
 )
+
+// workspaces recycles per-worker graph scratch across the public
+// evaluation paths (Routes.Evaluate, fixed-weight route builds, path
+// metrics); every parallel destination worker draws a private arena.
+var workspaces graph.WorkspacePool
 
 // Router is the uniform entry point to every routing scheme the paper
 // compares: SPEF, ECMP-OSPF, downward PEFT, and the optimal-TE
@@ -128,6 +134,68 @@ func reindexRouter(r Router, keep []int) Router {
 		return ri.reindexLinks(keep)
 	}
 	return r
+}
+
+// weightReuser is implemented by optimizing routers whose computed link
+// weights can be extracted from a finished Routes and replayed as a
+// fixed-weight router. The scenario engine's weight-reuse cache
+// (RunOptions.ReuseWeights) optimizes such a router once per
+// (topology, failure, router) group and re-simulates the extracted
+// weights across the group's load factors.
+type weightReuser interface {
+	Router
+	// reusable reports, without running anything, whether the router
+	// actually optimizes weights that reuseFrom can extract. The cache
+	// only creates a group — and only ever runs a reference
+	// optimization — for routers that return true; fixed-weight
+	// variants (PEFT(w)) and wrapped non-optimizers run unchanged.
+	reusable() bool
+	// reuseFrom returns a fixed-weight router replaying the weights
+	// captured in routes, reporting whether extraction succeeded. The
+	// returned router keeps the original display name so result rows
+	// line up across the load axis.
+	reuseFrom(routes *Routes) (Router, bool)
+}
+
+func (r spefRouter) reusable() bool { return true }
+
+func (r spefRouter) reuseFrom(routes *Routes) (Router, bool) {
+	p := routes.Protocol()
+	if p == nil {
+		return nil, false
+	}
+	return Named(r.Name(), SPEFWithWeights(p.FirstWeights(), p.SecondWeights())), true
+}
+
+// reusable: only the optimizing form (nil weights) computes anything
+// worth caching.
+func (r peftRouter) reusable() bool { return r.weights == nil }
+
+func (r peftRouter) reuseFrom(routes *Routes) (Router, bool) {
+	if r.weights != nil {
+		return nil, false // already fixed: nothing to reuse
+	}
+	if routes.weights == nil {
+		return nil, false
+	}
+	return Named(r.Name(), PEFT(routes.weights)), true
+}
+
+func (n namedRouter) reusable() bool {
+	wr, ok := n.r.(weightReuser)
+	return ok && wr.reusable()
+}
+
+func (n namedRouter) reuseFrom(routes *Routes) (Router, bool) {
+	wr, ok := n.r.(weightReuser)
+	if !ok {
+		return nil, false
+	}
+	fixed, ok := wr.reuseFrom(routes)
+	if !ok {
+		return nil, false
+	}
+	return Named(n.name, fixed), true
 }
 
 // remapLinkVector projects an intact-topology per-link vector onto the
@@ -262,7 +330,13 @@ func (r peftRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes
 	if err != nil {
 		return nil, err
 	}
-	return &Routes{router: r.Name(), net: n, dags: p.DAGs, splits: p.Splits}, nil
+	routes := &Routes{router: r.Name(), net: n, dags: p.DAGs, splits: p.Splits}
+	if r.weights == nil {
+		// Record the optimized weights so the scenario engine's
+		// weight-reuse cache can re-simulate them across load factors.
+		routes.weights = append([]float64(nil), w...)
+	}
+	return routes, nil
 }
 
 // SPEFWithWeights returns SPEF forwarding under fixed, precomputed
@@ -315,16 +389,35 @@ func (r spefWeightsRouter) Routes(ctx context.Context, n *Network, d *Demands) (
 	if math.IsInf(tol, 0) || math.IsNaN(tol) || tol < 0 {
 		tol = 0
 	}
-	dags := make(map[int]*graph.DAG)
-	splits := make(map[int][]float64)
-	for _, t := range d.m.Destinations() {
-		dag, err := graph.BuildDAG(n.g, r.w, t, tol)
+	// Re-running Dijkstra per destination is the router's whole job here
+	// (no optimization), so fan the independent destinations out over
+	// parallel workers with private workspaces.
+	dests := d.m.Destinations()
+	builtDAGs := make([]*graph.DAG, len(dests))
+	builtSplits := make([][]float64, len(dests))
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		ws := workspaces.Get(n.g)
+		defer workspaces.Put(ws)
+		dag, err := ws.BuildDAG(n.g, r.w, dests[i], tol)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ratio, _ := ws.ExponentialSplits(n.g, dag, r.v)
+		builtDAGs[i] = dag.Clone()
+		builtSplits[i] = append([]float64(nil), ratio...)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		ratio, _ := graph.ExponentialSplits(n.g, dag, r.v)
-		dags[t] = dag
-		splits[t] = ratio
+	}
+	dags := make(map[int]*graph.DAG, len(dests))
+	splits := make(map[int][]float64, len(dests))
+	for i, t := range dests {
+		dags[t] = builtDAGs[i]
+		splits[t] = builtSplits[i]
 	}
 	return &Routes{router: r.Name(), net: n, dags: dags, splits: splits}, nil
 }
@@ -417,6 +510,11 @@ type Routes struct {
 	// protocol is the underlying SPEF state when the routes came from
 	// the SPEF router.
 	protocol *Protocol
+	// weights records the link weights the routes forward under when
+	// the producing router optimized them itself (PEFT with nil
+	// weights) — the vector the scenario engine's weight-reuse cache
+	// extracts.
+	weights []float64
 }
 
 // Router returns the name of the scheme that produced the routes.
@@ -468,15 +566,25 @@ func (r *Routes) Evaluate(d *Demands) (*TrafficReport, error) {
 	dests := d.m.Destinations()
 	flow := mcf.NewFlow(r.net.g, dests)
 	for _, t := range dests {
-		dag, ok := r.dags[t]
-		if !ok {
+		if _, ok := r.dags[t]; !ok {
 			return nil, fmt.Errorf("%w: no forwarding state for destination %d", ErrBadInput, t)
 		}
-		ft, err := graph.PropagateDown(r.net.g, dag, d.m.ToDestination(t), r.splits[t])
+	}
+	// Destinations are independent: evaluate each commodity on a
+	// parallel worker with a private workspace, writing only its own
+	// per-destination vector — bit-identical to the sequential loop.
+	errs := make([]error, len(dests))
+	par.Do(len(dests), func(i int) {
+		t := dests[i]
+		ws := workspaces.Get(r.net.g)
+		defer workspaces.Put(ws)
+		demand := d.m.ToDestinationInto(t, ws.DemandBuffer(r.net.g))
+		errs[i] = ws.PropagateDownInto(r.net.g, r.dags[t], demand, r.splits[t], flow.PerDest[t])
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		flow.PerDest[t] = ft
 	}
 	flow.RecomputeTotal()
 	return reportFor(r.net, flow.Total), nil

@@ -285,6 +285,27 @@ type RunOptions struct {
 	// Progress, when non-nil, is called after every completed cell with
 	// the completed and total counts. Calls are serialized.
 	Progress func(completed, total int)
+	// ReuseWeights optimizes each (topology, failure variant, router)
+	// group's weights once — at the group's first cell, which under
+	// Grid expansion is the first load factor — and re-simulates the
+	// extracted fixed weights across the group's remaining cells
+	// instead of re-optimizing per load. This is both a large speedup
+	// on load sweeps and a different (documented) semantics: every cell
+	// of the group reports the performance of the reference cell's
+	// weights under its own load, the deployed-weights robustness
+	// question, rather than per-load re-optimization. Routers that
+	// carry no extractable optimization (OSPF, Optimal, fixed-weight
+	// variants) run unchanged. Results remain deterministic for any
+	// worker count.
+	ReuseWeights bool
+}
+
+// cache builds the weight-reuse cache for a run, nil when disabled.
+func (o RunOptions) cache(scenarios []Scenario) *weightCache {
+	if !o.ReuseWeights {
+		return nil
+	}
+	return newWeightCache(scenarios)
 }
 
 func (o RunOptions) metrics() []Metric {
@@ -303,8 +324,11 @@ func (o RunOptions) metrics() []Metric {
 // alongside the partial results.
 func RunScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) ([]ScenarioResult, error) {
 	metrics := opts.metrics()
+	cache := opts.cache(scenarios)
 	results := scenario.Run(ctx, len(scenarios), opts.Workers,
-		func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, i, scenarios[i], metrics) },
+		func(ctx context.Context, i int) ScenarioResult {
+			return runScenario(ctx, i, scenarios[i], metrics, cache)
+		},
 		func(i int) ScenarioResult {
 			r := resultShell(i, scenarios[i])
 			r.setErr(ctx.Err())
@@ -325,6 +349,7 @@ func RunScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) ([
 // context's error, mirroring the batch path.
 func StreamScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions) iter.Seq[ScenarioResult] {
 	metrics := opts.metrics()
+	cache := opts.cache(scenarios)
 	return func(yield func(ScenarioResult) bool) {
 		sctx, cancel := context.WithCancel(ctx)
 		defer cancel()
@@ -334,7 +359,9 @@ func StreamScenarios(ctx context.Context, scenarios []Scenario, opts RunOptions)
 			defer close(ch)
 			completed := 0
 			scenario.Stream(sctx, len(scenarios), opts.Workers,
-				func(ctx context.Context, i int) ScenarioResult { return runScenario(ctx, i, scenarios[i], metrics) },
+				func(ctx context.Context, i int) ScenarioResult {
+					return runScenario(ctx, i, scenarios[i], metrics, cache)
+				},
 				func(i int) ScenarioResult {
 					r := resultShell(i, scenarios[i])
 					r.setErr(sctx.Err())
@@ -383,10 +410,14 @@ func (r *ScenarioResult) setErr(err error) {
 	}
 }
 
-func runScenario(ctx context.Context, idx int, s Scenario, metrics []Metric) ScenarioResult {
+func runScenario(ctx context.Context, idx int, s Scenario, metrics []Metric, cache *weightCache) ScenarioResult {
 	start := time.Now()
 	res := resultShell(idx, s)
-	routes, err := s.Router.Routes(ctx, s.Network, s.Demands)
+	router, err := cache.router(ctx, s)
+	var routes *Routes
+	if err == nil {
+		routes, err = router.Routes(ctx, s.Network, s.Demands)
+	}
 	if err == nil {
 		var report *TrafficReport
 		if report, err = routes.Evaluate(s.Demands); err == nil {

@@ -1,66 +1,3 @@
-// Package spef is a Go implementation of SPEF — "Shortest paths
-// Penalizing Exponential Flow-splitting" — the OSPF-compatible optimal
-// traffic-engineering protocol of Xu, Liu, Liu and Shen, "One More
-// Weight is Enough: Toward the Optimal Traffic Engineering with OSPF"
-// (ICDCS 2011).
-//
-// SPEF computes two weights per link: the first weights make every
-// optimal route a shortest path (Theorem 3.1), and the second weights
-// let each router independently split traffic across its equal-cost next
-// hops by an exponential rule (Eq. 22) so that the network-wide
-// distribution is the optimum of a (q, beta) proportional load-balance
-// objective. beta = 0 yields minimum-total-load routing, beta = 1
-// proportional load balance (minimum M/M/1 delay), and beta -> infinity
-// min-max load balance.
-//
-// Typical use:
-//
-//	n := spef.Abilene()
-//	d, _ := spef.FortzThorupDemands(1, n)
-//	d, _ = d.ScaledToLoad(n, 0.17)
-//	p, _ := spef.Optimize(ctx, n, d, spef.WithBeta(1))
-//	report, _ := p.Evaluate(d)
-//	fmt.Println(report.MLU, report.Utility)
-//
-// Every routing scheme the paper compares — SPEF, ECMP-OSPF, downward
-// PEFT, and the optimal-TE reference — is also available behind the
-// uniform Router interface, and the Scenario engine sweeps grids of
-// topology x load x beta x router (including generated single-link-
-// failure variants) concurrently:
-//
-//	grid := spef.Grid{
-//		Topologies: []spef.Topology{{Name: "Abilene", Network: n, Demands: d}},
-//		Loads:      []float64{0.12, 0.15, 0.18},
-//		Routers:    []spef.Router{spef.OSPF(nil), spef.SPEF(), spef.Optimal()},
-//	}
-//	cells, _ := grid.Scenarios()
-//	results, _ := spef.RunScenarios(ctx, cells, spef.RunOptions{})
-//
-// Results flow through a streaming pipeline: every cell records a
-// configurable Metric set (MLU, utility, utilization percentiles,
-// M/M/1 delay, path stretch — see DefaultMetrics), StreamScenarios
-// emits each cell as it completes under O(workers) memory, and Sinks
-// persist rows as JSONL, CSV or aligned tables. The Suite type is the
-// declarative form — topologies, demand generators, routers and
-// metrics named through the registry (ResolveTopology, ResolveDemands,
-// ResolveRouter) and parseable from JSON — driven by `spef suite`:
-//
-//	suite := &spef.Suite{
-//		Topologies: []string{"abilene"},
-//		Loads:      []float64{0.12, 0.15, 0.18},
-//		Routers:    []string{"invcap", "spef", "optimal"},
-//	}
-//	seq, _ := suite.Stream(ctx)
-//	sink := spef.NewJSONLSink(f)
-//	for r := range seq {
-//		sink.Write(r)
-//	}
-//	sink.Flush()
-//
-// The packages under internal/ hold the substrates (graph algorithms,
-// flow solvers, an LP solver, a packet-level simulator) and the
-// experiment harness regenerating every table and figure of the paper;
-// see DESIGN.md and EXPERIMENTS.md.
 package spef
 
 import (

@@ -41,6 +41,10 @@ type Suite struct {
 	MaxIterations int `json:"max_iterations,omitempty"`
 	// Workers bounds concurrent cells (0 selects GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// ReuseWeights optimizes each (topology, failure, router) group
+	// once — at the first load — and re-simulates the extracted weights
+	// across the load axis (see RunOptions.ReuseWeights).
+	ReuseWeights bool `json:"reuse_weights,omitempty"`
 }
 
 // ParseSuite parses a JSON suite spec, rejecting unknown fields so
@@ -107,9 +111,10 @@ func (s *Suite) Scenarios() ([]Scenario, error) {
 	return grid.Scenarios()
 }
 
-// RunOptions resolves the suite's metrics and worker count.
+// RunOptions resolves the suite's metrics, worker count and
+// weight-reuse mode.
 func (s *Suite) RunOptions() (RunOptions, error) {
-	opts := RunOptions{Workers: s.Workers}
+	opts := RunOptions{Workers: s.Workers, ReuseWeights: s.ReuseWeights}
 	if len(s.Metrics) > 0 {
 		m, err := MetricsByName(s.Metrics...)
 		if err != nil {
