@@ -1,0 +1,115 @@
+package spef
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCatalogSpecsResolve: the catalog is the registry's
+// self-description, so every documented spec must actually resolve —
+// with its defaults, and with every documented parameter spelled out.
+func TestCatalogSpecsResolve(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range c.Topologies {
+		if _, err := ResolveTopology(info.Name); err != nil {
+			t.Errorf("named topology %q does not resolve: %v", info.Name, err)
+		}
+	}
+	// Generator specs resolve with their documented defaults. The
+	// importers need a file; use the committed fixtures.
+	fileFor := map[string]string{
+		"zoo":    "internal/topoio/testdata/testnet.graphml",
+		"sndlib": "internal/topoio/testdata/testnet.txt",
+	}
+	for _, d := range c.Generators {
+		spec := d.Name
+		if f, ok := fileFor[d.Name]; ok {
+			spec = fmt.Sprintf("%s:file=%s", d.Name, f)
+		}
+		if _, err := resolveTopology(spec, false); err != nil {
+			t.Errorf("generator spec %q does not resolve: %v", spec, err)
+		}
+		// Every documented parameter is accepted (with its default
+		// where renderable; file params keep the fixture).
+		withParams := d.Name + ":"
+		var parts []string
+		for _, p := range d.Params {
+			switch {
+			case p.Name == "file":
+				parts = append(parts, "file="+fileFor[d.Name])
+			case p.Default == "required" || p.Default == "inferred" || p.Default == "auto":
+				continue
+			default:
+				parts = append(parts, p.Name+"="+p.Default)
+			}
+		}
+		withParams += strings.Join(parts, ",")
+		if _, err := resolveTopology(withParams, false); err != nil {
+			t.Errorf("generator spec %q does not resolve: %v", withParams, err)
+		}
+	}
+	n, err := RandomNetwork(1, 10, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range c.Demands {
+		if _, err := ResolveDemands(d.Name, n); err != nil {
+			t.Errorf("demand spec %q does not resolve: %v", d.Name, err)
+		}
+	}
+	for _, d := range c.Sequences {
+		// Small step counts keep the test fast.
+		if _, ok, err := ResolveDemandSequence(d.Name+":steps=2", n); err != nil || !ok {
+			t.Errorf("sequence spec %q does not resolve: ok=%v err=%v", d.Name, ok, err)
+		}
+	}
+	for _, d := range c.Routers {
+		if _, err := ResolveRouter(d.Name, 0); err != nil {
+			t.Errorf("router spec %q does not resolve: %v", d.Name, err)
+		}
+	}
+	for _, d := range c.Metrics {
+		if _, err := MetricsByName(d.Name); err != nil {
+			t.Errorf("metric %q does not resolve: %v", d.Name, err)
+		}
+	}
+}
+
+func TestCatalogRendering(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md, txt bytes.Buffer
+	if err := c.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"abilene", "waxman:", "zoo:file=", "gravity-diurnal", "mlu", "spef"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown catalog missing %q", want)
+		}
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text catalog missing %q", want)
+		}
+	}
+	if strings.Contains(md.String(), "spef-catalog:begin") {
+		t.Error("markdown fragment must not contain the README markers")
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	if got := suggest("abileen", []string{"abilene", "cernet2"}); !strings.Contains(got, "abilene") {
+		t.Errorf("suggest(abileen) = %q", got)
+	}
+	if got := suggest("zzzzzz", []string{"abilene", "cernet2"}); got != "" {
+		t.Errorf("suggest(zzzzzz) = %q, want no suggestion", got)
+	}
+}

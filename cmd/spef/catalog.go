@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spef "repro"
+)
+
+// catalogMain runs `spef catalog`: the registry's full inventory —
+// named topologies, generators and importers, demand generators,
+// temporal demand sequences, routers, metrics — as aligned text or as
+// the Markdown fragment README.md embeds between its spef-catalog
+// markers (CI checks the committed section against this output).
+func catalogMain(args []string) error {
+	fs := flag.NewFlagSet("catalog", flag.ExitOnError)
+	var (
+		markdown = fs.Bool("markdown", false, "emit the Markdown catalog fragment (the README section)")
+		out      = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spef catalog [-markdown] [-o FILE]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	c, err := spef.NewCatalog()
+	if err != nil {
+		return err
+	}
+	if *markdown {
+		return c.WriteMarkdown(w)
+	}
+	return c.WriteText(w)
+}

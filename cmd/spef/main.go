@@ -5,14 +5,17 @@
 //	spef [-quick] all
 //	spef suite -spec FILE [-format table|jsonl|csv] [-o FILE] [-stream]
 //	spef suite -topologies abilene -loads 0.12,0.14 -routers invcap,spef ...
+//	spef catalog [-markdown]
 //
 // Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
 // table5 fig12 fig13. fig6 and fig7 share one runner and print both.
 // The suite subcommand sweeps a Grid declared in JSON or flags over the
 // topology/demand registry and writes results through a sink (aligned
 // table, JSONL, or CSV), optionally streaming each cell as it
-// completes. Interrupting the process (SIGINT/SIGTERM) cancels the
-// running experiment cleanly.
+// completes. The catalog subcommand lists every registered topology,
+// generator, importer, demand generator, temporal demand sequence,
+// router and metric with its parameters. Interrupting the process
+// (SIGINT/SIGTERM) cancels the running experiment cleanly.
 package main
 
 import (
@@ -77,6 +80,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "catalog" {
+		if err := catalogMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef catalog:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "reduced-fidelity run (fast)")
 	workers := flag.Int("workers", 0, "concurrent cells in sweeping experiments (0 = GOMAXPROCS)")
 	flag.Usage = usage
@@ -125,5 +135,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
 }

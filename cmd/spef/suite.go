@@ -19,8 +19,8 @@ func suiteMain(args []string) error {
 	fs := flag.NewFlagSet("suite", flag.ExitOnError)
 	var (
 		specFile   = fs.String("spec", "", "JSON suite spec file (flags below override its fields when set)")
-		topologies = fs.String("topologies", "", "comma-separated topology specs (abilene, rand:n=50,links=242,seed=1, ...)")
-		demands    = fs.String("demands", "", "demand generator spec overriding topology defaults (ft:seed=N, gravity, uniform)")
+		topologies = fs.String("topologies", "", "comma-separated topology specs (abilene, rand:n=50,links=242,seed=1, waxman:n=50, zoo:file=net.graphml, sndlib:file=net.txt, ...; see `spef catalog`)")
+		demands    = fs.String("demands", "", "demand spec overriding topology defaults: a generator (ft:seed=N, gravity, uniform) or a temporal sequence expanding a time axis (gravity-diurnal:steps=24, ft-diurnal)")
 		loads      = fs.String("loads", "", "comma-separated network loads")
 		betas      = fs.String("betas", "", "comma-separated beta values for beta-configurable routers")
 		routers    = fs.String("routers", "", "comma-separated router specs (spef, invcap, peft, optimal, spef:iters=N)")
@@ -28,7 +28,7 @@ func suiteMain(args []string) error {
 		failures   = fs.Bool("failures", false, "add single-link-failure variants of every topology")
 		iters      = fs.Int("iters", 0, "Algorithm 1 iteration budget for optimizing routers (0 = automatic)")
 		workers    = fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
-		reuse      = fs.Bool("reuse-weights", false, "optimize each (topology, failure, router) group once at the first load and re-simulate those weights across the load axis")
+		reuse      = fs.Bool("reuse-weights", false, "optimize each (topology, failure, router) group once — at the first load and, for temporal demand sequences, the first step — and re-simulate those weights across the load/time axes")
 		format     = fs.String("format", "table", "output format: table|jsonl|csv")
 		out        = fs.String("o", "", "output file (default stdout)")
 		stream     = fs.Bool("stream", false, "write each cell as it completes (completion order) instead of the deterministic batch order")

@@ -8,6 +8,10 @@
 //	topogen -net rand -nodes 50 -links 242 [-seed 1] ...
 //	topogen -net hier -nodes 50 -clusters 5 -links 222 ...
 //	topogen -net rand:n=80,links=320,seed=7 -demands gravity:sigma=0.8
+//	topogen -net waxman:n=60,alpha=0.4,beta=0.2 | ba:n=60,m=2 | fattree:k=4 | grid:rows=5,cols=5
+//	topogen -net zoo:file=net.graphml | sndlib:file=net.txt
+//
+// Run `spef catalog` for the full spec inventory.
 package main
 
 import (
@@ -38,10 +42,16 @@ func main() {
 
 func run(kind string, seed int64, nodes, links, clusters int, demandSpec string, load float64) error {
 	// The -nodes/-links/-clusters/-seed shorthand flags expand the bare
-	// generator names into full registry specs. The registry is
-	// case-insensitive; normalize here too so the fig1/simple built-in
-	// check below agrees with what ResolveTopology resolves.
-	kind = strings.ToLower(strings.TrimSpace(kind))
+	// generator names into full registry specs. The registry
+	// lowercases spec names but not parameter values, so normalize
+	// only the name here — lowercasing the whole spec would corrupt
+	// file= paths of the importer specs (zoo:file=Abilene.graphml).
+	kind = strings.TrimSpace(kind)
+	if name, rest, ok := strings.Cut(kind, ":"); ok {
+		kind = strings.ToLower(strings.TrimSpace(name)) + ":" + rest
+	} else {
+		kind = strings.ToLower(kind)
+	}
 	switch kind {
 	case "rand":
 		kind = fmt.Sprintf("rand:n=%d,links=%d,seed=%d", nodes, links, seed)
@@ -54,9 +64,11 @@ func run(kind string, seed int64, nodes, links, clusters int, demandSpec string,
 	}
 	n, d := t.Network, t.Demands
 
-	// fig1 and simple carry their own demands; every other topology's
-	// demands come from the requested generator.
-	builtin := kind == "fig1" || kind == "simple"
+	// fig1, simple and SNDlib imports (whose DEMANDS section is the
+	// topology's defining workload) carry their own demands; every
+	// other topology's demands come from the requested generator.
+	builtin := kind == "fig1" || kind == "simple" ||
+		(strings.HasPrefix(kind, "sndlib:") && d != nil)
 	if !builtin || demandSpec == "none" {
 		// The seeded generators default to seed 1; thread the -seed
 		// flag through unless the spec sets its own.

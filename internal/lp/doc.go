@@ -1,0 +1,36 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c . x
+//	subject to  a_i . x  {<=, =, >=}  b_i     for every constraint i
+//	            x >= 0.
+//
+// It is the optimization substrate for the exact baselines of the
+// reproduction: minimum-MLU routing, lexicographic min-max load
+// balance, and minimum-cost multi-commodity flow (paper Eq. 9 and the
+// Table I baseline columns), all built in internal/mcf on top of this
+// package.
+//
+// # Usage
+//
+// Build a Problem (NewProblem allocates the objective vector, Obj is
+// filled in place, AddConstraint appends rows), then Solve it:
+//
+//	p := lp.NewProblem(2)
+//	p.Obj = []float64{-1, -1}                        // maximize x+y
+//	p.AddConstraint([]float64{1, 0}, lp.LE, 2)
+//	p.AddConstraint([]float64{0, 1}, lp.LE, 3)
+//	res, err := lp.Solve(p)                          // res.X, res.Obj
+//
+// Solve returns Result.Status Optimal, Infeasible or Unbounded; X and
+// Obj are meaningful only for Optimal.
+//
+// # Scope
+//
+// Sizes here are modest (hundreds of variables), so a dense tableau
+// with Dantzig pricing and a Bland anti-cycling fallback is simple and
+// fast enough; phase one drives artificial variables out of the basis,
+// phase two optimizes the real objective. The solver is deterministic:
+// identical problems pivot identically, which keeps every LP-backed
+// baseline bit-reproducible across runs and worker counts.
+package lp

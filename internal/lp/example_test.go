@@ -1,0 +1,38 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// ExampleSolve maximizes x + y inside a box — minimization of the
+// negated objective, the form every baseline LP in internal/mcf uses.
+func ExampleSolve() {
+	p := lp.NewProblem(2)
+	p.Obj = []float64{-1, -1} // minimize -(x + y)
+	p.AddConstraint([]float64{1, 0}, lp.LE, 2)
+	p.AddConstraint([]float64{0, 1}, lp.LE, 3)
+	res, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status, res.X, -res.Obj)
+	// Output:
+	// optimal [2 3] 5
+}
+
+// ExampleSolve_infeasible shows the status for contradictory
+// constraints: no error, Status Infeasible.
+func ExampleSolve_infeasible() {
+	p := lp.NewProblem(1)
+	p.AddConstraint([]float64{1}, lp.GE, 2)
+	p.AddConstraint([]float64{1}, lp.LE, 1)
+	res, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status)
+	// Output:
+	// infeasible
+}

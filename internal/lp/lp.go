@@ -1,16 +1,3 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs in the form
-//
-//	minimize    c . x
-//	subject to  a_i . x  {<=, =, >=}  b_i     for every constraint i
-//	            x >= 0.
-//
-// It is the optimization substrate for the exact baselines of the
-// reproduction: minimum-MLU routing, lexicographic min-max load balance,
-// and minimum-cost multi-commodity flow (paper Eq. 9 and the Table I
-// baseline columns). Sizes here are modest (hundreds of variables), so a
-// dense tableau with Dantzig pricing and a Bland anti-cycling fallback is
-// simple and fast enough.
 package lp
 
 import (

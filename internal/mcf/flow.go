@@ -1,12 +1,3 @@
-// Package mcf implements the multi-commodity flow core of the
-// reproduction: destination-aggregated flow vectors with feasibility
-// checks, all-or-nothing shortest-path assignment, a Frank-Wolfe solver
-// for convex-cost (optimal) traffic engineering, and LP-based baselines
-// (minimum MLU, lexicographic min-max load balance, minimum-cost MCF —
-// paper Eqs. 2 and 9).
-//
-// Commodities follow the paper's convention: one commodity per
-// destination node t, aggregating all sources (Section II-A).
 package mcf
 
 import (

@@ -1,0 +1,34 @@
+// Package netsim is a packet-level discrete-event network simulator,
+// the reproduction's substitute for SSFnet (paper Section V-D /
+// Fig. 11; see DESIGN.md, substitutions). It simulates Poisson packet
+// sources, FIFO output queues with finite buffers, store-and-forward
+// links with serialization and propagation delay, and per-packet
+// probabilistic forwarding driven by a protocol's split ratios (SPEF,
+// PEFT, or OSPF).
+//
+// # Model
+//
+// A Config names the graph, the demands (Poisson sources whose rates
+// are the demand volumes), and Splits — per destination, the per-link
+// forwarding ratios that must sum to 1 at every node able to carry
+// that destination's traffic. Run executes the event loop until the
+// configured Duration and reports per-link mean loads over the
+// measurement window (Duration minus Warmup), utilizations, packet
+// accounting and mean end-to-end delay.
+//
+// Forwarding granularity is configurable: FlowsPerDemand = 0 samples
+// a next hop per packet (the idealized splitting the analytic model
+// assumes); k > 0 hashes packets onto k flows per demand and pins
+// each flow's next-hop choice per router — real ECMP semantics, no
+// intra-flow reordering — so measured splits converge to the ratios
+// only as k grows.
+//
+// The quantity the paper reports — mean per-link traffic load over
+// the run — is measured by counting bits whose transmission completes
+// inside the measurement window. MeanAbsSplitError compares measured
+// loads against an analytic prediction over the loaded links.
+//
+// Everything is seeded: identical Configs reproduce identical packet
+// traces. Event and packet records are recycled through freelists, so
+// steady-state simulation does not grow the heap per packet.
+package netsim

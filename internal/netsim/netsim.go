@@ -1,13 +1,3 @@
-// Package netsim is a packet-level discrete-event network simulator, the
-// reproduction's substitute for SSFnet (paper Section V-D / Fig. 11; see
-// DESIGN.md, substitutions). It simulates Poisson packet sources, FIFO
-// output queues with finite buffers, store-and-forward links with
-// serialization and propagation delay, and per-packet probabilistic
-// forwarding driven by a protocol's split ratios (SPEF, PEFT, or OSPF).
-//
-// The quantity the paper reports — mean per-link traffic load over the
-// run — is measured by counting bits whose transmission completes inside
-// the measurement window.
 package netsim
 
 import (

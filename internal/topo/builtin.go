@@ -1,10 +1,3 @@
-// Package topo provides every network topology the paper evaluates on:
-// the two worked examples (Fig. 1 and Fig. 4), the Abilene and Cernet2
-// backbones (Fig. 8, Table III), and seeded generators for the GT-ITM
-// style 2-level hierarchical and random networks of Table III.
-//
-// All topologies are directed: a physical cable is modeled as two
-// opposite directed links, matching the paper's directed-link counts.
 package topo
 
 import (

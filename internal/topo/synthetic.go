@@ -1,0 +1,221 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// This file holds the synthetic generators beyond the paper's Table III
+// set: the classic random-graph models TE studies sweep robustness
+// over (Waxman geometric, Barabási–Albert preferential attachment) and
+// the regular data-center/lattice structures (k-ary fat-tree, grid).
+// All are seeded and deterministic, produce connected graphs, and use
+// unit capacities unless stated otherwise — the paper's convention for
+// generated topologies.
+
+// Waxman generates a connected Waxman random geometric network: n
+// nodes placed uniformly in the unit square, each node pair linked
+// with probability alpha * exp(-d / (beta * L)) where d is the pair's
+// Euclidean distance and L the maximum pairwise distance. Larger alpha
+// raises overall density; larger beta lengthens the typical link.
+// Components left over after the probabilistic pass are joined through
+// their geometrically closest node pairs, so the result is always
+// connected. All links have capacity 1 (duplex pairs).
+func Waxman(seed int64, n int, alpha, beta float64) (*graph.Graph, error) {
+	switch {
+	case n < 2:
+		return nil, fmt.Errorf("%w: need at least 2 nodes", ErrBadParams)
+	case !(alpha > 0) || alpha > 1 || math.IsNaN(alpha):
+		return nil, fmt.Errorf("%w: alpha %v outside (0, 1]", ErrBadParams, alpha)
+	case !(beta > 0) || math.IsNaN(beta) || math.IsInf(beta, 0):
+		return nil, fmt.Errorf("%w: beta %v must be positive and finite", ErrBadParams, beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(a, b int) float64 {
+		return math.Hypot(xs[a]-xs[b], ys[a]-ys[b])
+	}
+	var maxDist float64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if d := dist(a, b); d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1 // all nodes coincide; degenerate but well-defined
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.SetName(i, fmt.Sprintf("w%d", i))
+	}
+	// comp is a union-find over nodes tracking connectivity.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	addEdge := func(a, b int) {
+		mustDuplex(g, a, b, 1)
+		comp[find(a)] = find(b)
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < alpha*math.Exp(-dist(a, b)/(beta*maxDist)) {
+				addEdge(a, b)
+			}
+		}
+	}
+	// Join leftover components through their closest cross pairs: the
+	// geometric analogue of the spanning-tree patch, preserving the
+	// model's short-link bias.
+	for {
+		bestA, bestB, bestD := -1, -1, math.Inf(1)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if find(a) == find(b) {
+					continue
+				}
+				if d := dist(a, b); d < bestD {
+					bestA, bestB, bestD = a, b, d
+				}
+			}
+		}
+		if bestA < 0 {
+			return g, nil // single component
+		}
+		addEdge(bestA, bestB)
+	}
+}
+
+// BarabasiAlbert generates a connected scale-free network by
+// preferential attachment: starting from a star over the first m+1
+// nodes, every new node attaches to m distinct existing nodes chosen
+// with probability proportional to their degree. The result has the
+// heavy-tailed degree distribution of real router-level and AS-level
+// topologies. All links have capacity 1 (duplex pairs).
+func BarabasiAlbert(seed int64, n, m int) (*graph.Graph, error) {
+	switch {
+	case m < 1:
+		return nil, fmt.Errorf("%w: need m >= 1 attachments per node", ErrBadParams)
+	case n < m+1:
+		return nil, fmt.Errorf("%w: need at least m+1 = %d nodes", ErrBadParams, m+1)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.SetName(i, fmt.Sprintf("b%d", i))
+	}
+	// stubs lists every edge endpoint once, so uniform sampling from it
+	// is degree-proportional sampling.
+	var stubs []int
+	addEdge := func(a, b int) {
+		mustDuplex(g, a, b, 1)
+		stubs = append(stubs, a, b)
+	}
+	for i := 1; i <= m && i < n; i++ {
+		addEdge(i, 0) // seed star: guarantees connectivity
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			u := stubs[rng.Intn(len(stubs))]
+			if u != v && !chosen[u] {
+				chosen[u] = true
+			}
+		}
+		// Attach in increasing-target order for determinism independent
+		// of map iteration.
+		for u := 0; u < v; u++ {
+			if chosen[u] {
+				addEdge(v, u)
+			}
+		}
+	}
+	return g, nil
+}
+
+// FatTree generates the canonical k-ary fat-tree data-center fabric
+// (k even): (k/2)^2 core switches and k pods of k/2 aggregation plus
+// k/2 edge switches. Every edge switch links to every aggregation
+// switch in its pod; aggregation switch j of each pod links to core
+// switches j*(k/2) .. (j+1)*(k/2)-1. All links are unit-capacity
+// duplex pairs — the uniform fabric in which TE spreads load across
+// the many equal-cost paths.
+func FatTree(k int) (*graph.Graph, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("%w: fat-tree arity k=%d must be even and >= 2", ErrBadParams, k)
+	}
+	half := k / 2
+	core := half * half
+	g := graph.New(core + k*k)
+	for c := 0; c < core; c++ {
+		g.SetName(c, fmt.Sprintf("core%d", c))
+	}
+	agg := func(pod, j int) int { return core + pod*k + j }
+	edge := func(pod, j int) int { return core + pod*k + half + j }
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			g.SetName(agg(pod, j), fmt.Sprintf("p%da%d", pod, j))
+			g.SetName(edge(pod, j), fmt.Sprintf("p%de%d", pod, j))
+		}
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				mustDuplex(g, edge(pod, e), agg(pod, a), 1)
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := a * half; c < (a+1)*half; c++ {
+				mustDuplex(g, agg(pod, a), c, 1)
+			}
+		}
+	}
+	return g, nil
+}
+
+// GridNet generates a rows x cols lattice with unit-capacity duplex
+// links between horizontal and vertical neighbors; wrap adds the torus
+// closure links, removing the boundary effects of the open grid.
+func GridNet(rows, cols int, wrap bool) (*graph.Graph, error) {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return nil, fmt.Errorf("%w: grid %dx%d needs at least 2 nodes", ErrBadParams, rows, cols)
+	}
+	g := graph.New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.SetName(at(r, c), fmt.Sprintf("g%d.%d", r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustDuplex(g, at(r, c), at(r, c+1), 1)
+			} else if wrap && cols > 2 {
+				mustDuplex(g, at(r, c), at(r, 0), 1)
+			}
+			if r+1 < rows {
+				mustDuplex(g, at(r, c), at(r+1, c), 1)
+			} else if wrap && rows > 2 {
+				mustDuplex(g, at(r, c), at(0, c), 1)
+			}
+		}
+	}
+	return g, nil
+}

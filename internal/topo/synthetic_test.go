@@ -1,0 +1,155 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// connected reports whether g is connected treating links as undirected
+// (every generator emits duplex pairs, so directed reachability from
+// node 0 is equivalent).
+func connected(g *graph.Graph) bool {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, id := range g.OutLinks(u) {
+			v := g.Link(id).To
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+func TestWaxman(t *testing.T) {
+	for _, seed := range []int64{1, 2, 42} {
+		g, err := Waxman(seed, 40, 0.4, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumNodes() != 40 {
+			t.Errorf("seed %d: %d nodes, want 40", seed, g.NumNodes())
+		}
+		if !connected(g) {
+			t.Errorf("seed %d: disconnected", seed)
+		}
+		if g.NumLinks()%2 != 0 {
+			t.Errorf("seed %d: odd link count %d", seed, g.NumLinks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+	// Determinism.
+	a, _ := Waxman(7, 30, 0.5, 0.3)
+	b, _ := Waxman(7, 30, 0.5, 0.3)
+	if a.NumLinks() != b.NumLinks() {
+		t.Error("same seed produced different networks")
+	}
+	for _, bad := range []struct {
+		n           int
+		alpha, beta float64
+	}{{1, 0.4, 0.2}, {10, 0, 0.2}, {10, 1.5, 0.2}, {10, 0.4, 0}} {
+		if _, err := Waxman(1, bad.n, bad.alpha, bad.beta); err == nil {
+			t.Errorf("Waxman(%d, %g, %g) accepted bad parameters", bad.n, bad.alpha, bad.beta)
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(1, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 60 {
+		t.Errorf("%d nodes, want 60", g.NumNodes())
+	}
+	// Star of 2 + 57 nodes x 2 attachments = 2 + 114 edges = 232 links.
+	if want := 2 * (2 + 57*2); g.NumLinks() != want {
+		t.Errorf("%d links, want %d", g.NumLinks(), want)
+	}
+	if !connected(g) {
+		t.Error("disconnected")
+	}
+	// Preferential attachment produces a hub: some node far above the
+	// mean degree.
+	maxDeg := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if d := len(g.OutLinks(i)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 8 {
+		t.Errorf("max degree %d, want a hub >= 8", maxDeg)
+	}
+	if _, err := BarabasiAlbert(1, 2, 2); err == nil {
+		t.Error("n <= m accepted")
+	}
+	if _, err := BarabasiAlbert(1, 10, 0); err == nil {
+		t.Error("m = 0 accepted")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	g, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=4: 4 cores + 4 pods x (2 agg + 2 edge) = 20 nodes.
+	if g.NumNodes() != 20 {
+		t.Errorf("%d nodes, want 20", g.NumNodes())
+	}
+	// Per pod: 2x2 edge-agg + 2x2 agg-core = 8 edges; 4 pods = 32 edges
+	// = 64 directed links.
+	if g.NumLinks() != 64 {
+		t.Errorf("%d links, want 64", g.NumLinks())
+	}
+	if !connected(g) {
+		t.Error("disconnected")
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, bad := range []int{0, 3, -2} {
+		if _, err := FatTree(bad); err == nil {
+			t.Errorf("FatTree(%d) accepted", bad)
+		}
+	}
+}
+
+func TestGridNet(t *testing.T) {
+	g, err := GridNet(3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Errorf("%d nodes, want 12", g.NumNodes())
+	}
+	// 3 rows x 3 horizontal + 2 rows x 4 vertical = 17 edges.
+	if want := 2 * (3*3 + 2*4); g.NumLinks() != want {
+		t.Errorf("%d links, want %d", g.NumLinks(), want)
+	}
+	if !connected(g) {
+		t.Error("disconnected")
+	}
+	torus, err := GridNet(3, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torus: every node has degree 4 -> rows*cols*2 edges.
+	if want := 2 * (3 * 4 * 2); torus.NumLinks() != want {
+		t.Errorf("torus: %d links, want %d", torus.NumLinks(), want)
+	}
+	if _, err := GridNet(1, 1, false); err == nil {
+		t.Error("1x1 grid accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package topoio imports real-world network topologies and workloads
+// into the reproduction's graph model: Topology Zoo GraphML files and
+// SNDlib native-format networks (which also carry demand matrices).
+// It is the parsing layer under the public registry specs
+// "zoo:file=..." and "sndlib:file=...".
+//
+// # Capacity inference
+//
+// Operational topology datasets annotate link capacities unevenly:
+// Topology Zoo files may carry LinkSpeedRaw (bit/s), LinkSpeed plus
+// LinkSpeedUnits, a human-readable LinkLabel ("10 Gbps"), or nothing at
+// all; SNDlib links may have a pre-installed capacity, only installable
+// capacity modules, or neither. Every importer therefore resolves each
+// link's capacity through the same two-phase rule:
+//
+//  1. annotated links take their declared capacity, converted into
+//     topology units by Options.CapacityUnit (default 1e9: Gbps);
+//  2. unannotated links take Options.DefaultCapacity when set, and
+//     otherwise the median of the file's annotated capacities — the
+//     assumption that an undocumented link looks like the typical
+//     documented one. A file with no annotations at all gets capacity 1
+//     on every link, degrading to the paper's unit-capacity convention.
+//
+// Imported.InferredLinks counts the links resolved by phase 2, so
+// callers can report how much of a topology is inferred rather than
+// measured.
+//
+// # Name sanitization
+//
+// Node names become identifiers in the repository's text format (see
+// the root package's WriteNetworkAndDemands), which is whitespace
+// delimited. Imported names therefore have whitespace runs replaced by
+// "_" and duplicates disambiguated with a ".2", ".3", ... suffix, so
+// every import round-trips through the text format unchanged.
+package topoio

@@ -1,0 +1,352 @@
+package topoio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/traffic"
+)
+
+// ReadSNDlib parses an SNDlib native-format network file
+// (sndlib.zib.de): the NODES, LINKS and DEMANDS sections of the
+// "?SNDlib native format" documents. Links are physical cables and
+// become duplex pairs; demands (when present) become the imported
+// topology's workload. Other sections (ADMISSIBLE_PATHS, META) are
+// skipped.
+//
+// A link's capacity is its pre-installed capacity when positive, else
+// the largest of its capacity modules (the installable-capacity model
+// SNDlib uses for network design instances), else the package's
+// inference rule. SNDlib capacities are abstract units and are used as
+// written — Options.CapacityUnit does not apply.
+func ReadSNDlib(r io.Reader, opts Options) (*Imported, error) {
+	toks, name, err := sndTokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &sndParser{toks: toks}
+
+	var rawNames []string
+	index := map[string]int{}
+	var edges []edgeSpec
+	type rawDemand struct {
+		src, dst string
+		volume   float64
+	}
+	var rawDemands []rawDemand
+
+	for {
+		tok, ok := p.next()
+		if !ok {
+			break
+		}
+		switch tok {
+		case "NODES":
+			if err := p.section(func() error {
+				id, err := p.atom("node id")
+				if err != nil {
+					return err
+				}
+				if _, dup := index[id]; dup {
+					return fmt.Errorf("duplicate node %q", id)
+				}
+				index[id] = len(rawNames)
+				rawNames = append(rawNames, id)
+				// Coordinates "( x y )" are optional and ignored.
+				if p.peek() == "(" {
+					if err := p.skipGroup(); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("%w: sndlib NODES: %v", ErrBadFile, err)
+			}
+		case "LINKS":
+			if err := p.section(func() error {
+				if _, err := p.atom("link id"); err != nil {
+					return err
+				}
+				src, tgt, err := p.pair()
+				if err != nil {
+					return err
+				}
+				from, ok := index[src]
+				if !ok {
+					return fmt.Errorf("link references unknown node %q", src)
+				}
+				to, ok := index[tgt]
+				if !ok {
+					return fmt.Errorf("link references unknown node %q", tgt)
+				}
+				// preCap preCost routingCost setupCost, each optional in
+				// truncated files: read numbers until the module list or
+				// the next entry.
+				var nums []float64
+				for len(nums) < 4 && p.peekIsNumber() {
+					v, _ := p.number("link attribute")
+					nums = append(nums, v)
+				}
+				capacity := 0.0
+				if len(nums) > 0 {
+					capacity = nums[0]
+				}
+				if p.peek() == "(" {
+					modules, err := p.group()
+					if err != nil {
+						return err
+					}
+					// Module list alternates capacity cost pairs; an
+					// unprovisioned link takes its largest module.
+					if capacity <= 0 {
+						for i := 0; i < len(modules); i += 2 {
+							if m, err := strconv.ParseFloat(modules[i], 64); err == nil && m > capacity {
+								capacity = m
+							}
+						}
+					}
+				}
+				edges = append(edges, edgeSpec{from: from, to: to, capacity: capacity})
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("%w: sndlib LINKS: %v", ErrBadFile, err)
+			}
+		case "DEMANDS":
+			if err := p.section(func() error {
+				if _, err := p.atom("demand id"); err != nil {
+					return err
+				}
+				src, tgt, err := p.pair()
+				if err != nil {
+					return err
+				}
+				if _, err := p.number("routing unit"); err != nil {
+					return err
+				}
+				vol, err := p.number("demand value")
+				if err != nil {
+					return err
+				}
+				// Optional max-path-length ("UNLIMITED" or a number).
+				if tok := p.peek(); tok != "" && tok != "(" && tok != ")" && !p.nextStartsEntry() {
+					p.next()
+				}
+				rawDemands = append(rawDemands, rawDemand{src: src, dst: tgt, volume: vol})
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("%w: sndlib DEMANDS: %v", ErrBadFile, err)
+			}
+		default:
+			// Unknown section (META, ADMISSIBLE_PATHS, ...): skip its
+			// parenthesized body if it has one.
+			if p.peek() == "(" {
+				if err := p.skipGroup(); err != nil {
+					return nil, fmt.Errorf("%w: sndlib %s: %v", ErrBadFile, tok, err)
+				}
+			}
+		}
+	}
+	if len(rawNames) == 0 {
+		return nil, fmt.Errorf("%w: sndlib: no NODES section", ErrBadFile)
+	}
+
+	names := sanitizeNames(rawNames, func(i int) string { return fmt.Sprintf("n%d", i) })
+	// SNDlib capacities are abstract units; Options.CapacityUnit only
+	// affects GraphML speed annotations, so no conversion happens here.
+	g, inferred, err := buildGraph(names, edges, opts)
+	if err != nil {
+		return nil, err
+	}
+	var demands []traffic.Demand
+	for _, d := range rawDemands {
+		s, ok := index[d.src]
+		if !ok {
+			return nil, fmt.Errorf("%w: sndlib: demand references unknown node %q", ErrBadFile, d.src)
+		}
+		t, ok := index[d.dst]
+		if !ok {
+			return nil, fmt.Errorf("%w: sndlib: demand references unknown node %q", ErrBadFile, d.dst)
+		}
+		demands = append(demands, traffic.Demand{Src: s, Dst: t, Volume: d.volume})
+	}
+	return &Imported{Name: name, G: g, Demands: demands, InferredLinks: inferred}, nil
+}
+
+// sndTokenize splits the document into parenthesis and atom tokens,
+// stripping comments. A "# network <name>" comment, the dataset's
+// self-identification convention, is captured as the topology name.
+func sndTokenize(r io.Reader) ([]string, string, error) {
+	var toks []string
+	name := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			comment := strings.TrimSpace(line[i+1:])
+			if rest, ok := strings.CutPrefix(comment, "network "); ok && name == "" {
+				name = strings.Join(strings.Fields(rest), "_")
+			}
+			line = line[:i]
+		}
+		if strings.HasPrefix(strings.TrimSpace(line), "?") {
+			continue // "?SNDlib native format; ..." header
+		}
+		line = strings.ReplaceAll(line, "(", " ( ")
+		line = strings.ReplaceAll(line, ")", " ) ")
+		toks = append(toks, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", fmt.Errorf("%w: sndlib: %v", ErrBadFile, err)
+	}
+	return toks, name, nil
+}
+
+type sndParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sndParser) next() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, true
+}
+
+func (p *sndParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sndParser) peekIsNumber() bool {
+	_, err := strconv.ParseFloat(p.peek(), 64)
+	return err == nil
+}
+
+// nextStartsEntry reports whether the next token begins a new section
+// entry rather than continuing the current one — used to detect an
+// omitted optional trailing field.
+func (p *sndParser) nextStartsEntry() bool {
+	// Entries are "id ( ..."; after an id the next token is "(". A
+	// closing ")" also ends the entry.
+	if p.pos+1 < len(p.toks) && p.toks[p.pos+1] == "(" {
+		return true
+	}
+	return false
+}
+
+func (p *sndParser) atom(what string) (string, error) {
+	t, ok := p.next()
+	if !ok {
+		return "", fmt.Errorf("missing %s", what)
+	}
+	if t == "(" || t == ")" {
+		return "", fmt.Errorf("expected %s, got %q", what, t)
+	}
+	return t, nil
+}
+
+func (p *sndParser) number(what string) (float64, error) {
+	t, err := p.atom(what)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, t)
+	}
+	return v, nil
+}
+
+func (p *sndParser) expect(tok string) error {
+	t, ok := p.next()
+	if !ok || t != tok {
+		return fmt.Errorf("expected %q, got %q", tok, t)
+	}
+	return nil
+}
+
+// pair reads "( a b )".
+func (p *sndParser) pair() (string, string, error) {
+	if err := p.expect("("); err != nil {
+		return "", "", err
+	}
+	a, err := p.atom("pair element")
+	if err != nil {
+		return "", "", err
+	}
+	b, err := p.atom("pair element")
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.expect(")"); err != nil {
+		return "", "", err
+	}
+	return a, b, nil
+}
+
+// group reads "( tok... )" without nesting.
+func (p *sndParser) group() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("unterminated group")
+		}
+		if t == ")" {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// skipGroup consumes a balanced "( ... )" block.
+func (p *sndParser) skipGroup() error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t, ok := p.next()
+		if !ok {
+			return fmt.Errorf("unterminated group")
+		}
+		switch t {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		}
+	}
+	return nil
+}
+
+// section runs entry once per section element: "SECTION ( entry... )".
+func (p *sndParser) section(entry func() error) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		if p.peek() == ")" {
+			p.next()
+			return nil
+		}
+		if p.peek() == "" {
+			return fmt.Errorf("unterminated section")
+		}
+		if err := entry(); err != nil {
+			return err
+		}
+	}
+}

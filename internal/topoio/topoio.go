@@ -1,0 +1,137 @@
+package topoio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/traffic"
+)
+
+// ErrBadFile reports a file the importers cannot parse.
+var ErrBadFile = errors.New("topoio: bad file")
+
+// Options tune how an importer interprets capacity annotations.
+// The zero value selects the documented defaults.
+type Options struct {
+	// DefaultCapacity, when positive, is the capacity assigned to links
+	// the file does not annotate. Zero selects inference: the median of
+	// the file's annotated capacities, or 1 when the file annotates
+	// nothing.
+	DefaultCapacity float64
+	// CapacityUnit divides raw bit/s annotations (GraphML LinkSpeedRaw,
+	// LinkSpeed x LinkSpeedUnits, parsed LinkLabels) into topology
+	// capacity units. The default 1e9 yields Gbps, matching the
+	// built-in Abilene/Cernet2 convention. SNDlib capacities are
+	// already in abstract units and are not divided.
+	CapacityUnit float64
+}
+
+func (o Options) unit() float64 {
+	if o.CapacityUnit > 0 {
+		return o.CapacityUnit
+	}
+	return 1e9
+}
+
+// Imported is a parsed topology: the graph, the name the file declares
+// for itself (possibly empty), the file's demands (SNDlib only; nil
+// when the format carries none), and the count of directed links whose
+// capacity was inferred rather than annotated (a duplex pair counts
+// twice, matching Graph.NumLinks).
+type Imported struct {
+	Name          string
+	G             *graph.Graph
+	Demands       []traffic.Demand
+	InferredLinks int
+}
+
+// edgeSpec is one parsed physical connection before capacity
+// resolution. capacity <= 0 marks an unannotated link.
+type edgeSpec struct {
+	from, to int
+	capacity float64
+	directed bool
+}
+
+// buildGraph resolves capacities (see the package comment's inference
+// rule) and materializes the edge list onto a named graph. Undirected
+// edges become duplex pairs.
+func buildGraph(names []string, edges []edgeSpec, opts Options) (*graph.Graph, int, error) {
+	def := opts.DefaultCapacity
+	if def <= 0 {
+		var annotated []float64
+		for _, e := range edges {
+			if e.capacity > 0 {
+				annotated = append(annotated, e.capacity)
+			}
+		}
+		def = median(annotated)
+	}
+	g := graph.New(len(names))
+	for i, n := range names {
+		g.SetName(i, n)
+	}
+	inferred := 0
+	for _, e := range edges {
+		capacity := e.capacity
+		if capacity <= 0 {
+			capacity = def
+			if e.directed {
+				inferred++
+			} else {
+				inferred += 2 // a duplex pair is two directed links
+			}
+		}
+		var err error
+		if e.directed {
+			_, err = g.AddLink(e.from, e.to, capacity)
+		} else {
+			_, _, err = g.AddDuplex(e.from, e.to, capacity)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: link %s -> %s: %v", ErrBadFile, names[e.from], names[e.to], err)
+		}
+	}
+	return g, inferred, nil
+}
+
+// median returns the middle of the sorted values (the mean of the two
+// middles for even counts), or 1 when there are none — the fallback
+// capacity of a fully unannotated file.
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// sanitizeNames makes raw node labels safe for the whitespace-delimited
+// text format and unique within the topology: whitespace runs collapse
+// to "_", empty labels fall back to the given default, and duplicates
+// get a ".2", ".3", ... suffix in encounter order.
+func sanitizeNames(raw []string, fallback func(i int) string) []string {
+	out := make([]string, len(raw))
+	seen := make(map[string]bool, len(raw))
+	for i, name := range raw {
+		name = strings.Join(strings.Fields(name), "_")
+		if name == "" {
+			name = fallback(i)
+		}
+		base := name
+		for n := 2; seen[name]; n++ {
+			name = fmt.Sprintf("%s.%d", base, n)
+		}
+		seen[name] = true
+		out[i] = name
+	}
+	return out
+}

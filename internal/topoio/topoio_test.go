@@ -1,0 +1,227 @@
+package topoio
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func openFixture(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestReadGraphMLFixture(t *testing.T) {
+	imp, err := ReadGraphML(openFixture(t, "testnet.graphml"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Name != "TestNet" {
+		t.Errorf("Name = %q, want TestNet", imp.Name)
+	}
+	if got := imp.G.NumNodes(); got != 5 {
+		t.Errorf("NumNodes = %d, want 5", got)
+	}
+	// 6 undirected edges -> 12 directed links.
+	if got := imp.G.NumLinks(); got != 12 {
+		t.Errorf("NumLinks = %d, want 12", got)
+	}
+	// Two unannotated undirected edges -> 4 inferred directed links.
+	if imp.InferredLinks != 4 {
+		t.Errorf("InferredLinks = %d, want 4", imp.InferredLinks)
+	}
+	if imp.Demands != nil {
+		t.Errorf("GraphML import carries demands: %v", imp.Demands)
+	}
+	// Annotated capacities resolve through all three styles, in Gbps.
+	wantCaps := map[string]float64{
+		"Seattle-Denver":  10,   // LinkSpeedRaw 1e10
+		"Denver-Chicago":  2.5,  // LinkSpeed 2.5 x units G
+		"Chicago-Atlanta": 10,   // LinkLabel "10 Gbps"
+		"Houston-Atlanta": 2.5,  // LinkSpeedRaw 2.5e9
+		"Denver-Houston":  6.25, // inferred: median of {10, 2.5, 10, 2.5}
+		"Seattle-Chicago": 6.25, // inferred
+	}
+	found := map[string]bool{}
+	for _, l := range imp.G.Links() {
+		key := imp.G.Name(l.From) + "-" + imp.G.Name(l.To)
+		rev := imp.G.Name(l.To) + "-" + imp.G.Name(l.From)
+		want, ok := wantCaps[key]
+		if !ok {
+			want, ok = wantCaps[rev]
+			key = rev
+		}
+		if !ok {
+			t.Errorf("unexpected link %s", key)
+			continue
+		}
+		if l.Cap != want {
+			t.Errorf("link %s capacity = %v, want %v", key, l.Cap, want)
+		}
+		found[key] = true
+	}
+	if len(found) != len(wantCaps) {
+		t.Errorf("found %d distinct connections, want %d", len(found), len(wantCaps))
+	}
+}
+
+func TestReadGraphMLDefaultCapacityOverride(t *testing.T) {
+	imp, err := ReadGraphML(openFixture(t, "testnet.graphml"), Options{DefaultCapacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range imp.G.Links() {
+		key := imp.G.Name(l.From) + "-" + imp.G.Name(l.To)
+		if (key == "Denver-Houston" || key == "Houston-Denver" ||
+			key == "Seattle-Chicago" || key == "Chicago-Seattle") && l.Cap != 3 {
+			t.Errorf("unannotated link %s capacity = %v, want the override 3", key, l.Cap)
+		}
+	}
+}
+
+func TestReadSNDlibFixture(t *testing.T) {
+	imp, err := ReadSNDlib(openFixture(t, "testnet.txt"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Name != "testnet-snd" {
+		t.Errorf("Name = %q, want testnet-snd", imp.Name)
+	}
+	if got := imp.G.NumNodes(); got != 4 {
+		t.Errorf("NumNodes = %d, want 4", got)
+	}
+	if got := imp.G.NumLinks(); got != 10 {
+		t.Errorf("NumLinks = %d, want 10 (5 duplex pairs)", got)
+	}
+	if imp.InferredLinks != 2 {
+		t.Errorf("InferredLinks = %d, want 2 (one unannotated cable)", imp.InferredLinks)
+	}
+	wantCaps := map[string]float64{
+		"N1-N2": 40, // pre-installed
+		"N2-N3": 40, // largest module
+		"N3-N4": 10, // only module
+		"N4-N1": 40, // inferred: median of {40, 40, 10, 40}
+		"N1-N3": 40, // pre-installed
+	}
+	for _, l := range imp.G.Links() {
+		key := imp.G.Name(l.From) + "-" + imp.G.Name(l.To)
+		rev := imp.G.Name(l.To) + "-" + imp.G.Name(l.From)
+		want, ok := wantCaps[key]
+		if !ok {
+			want = wantCaps[rev]
+		}
+		if l.Cap != want {
+			t.Errorf("link %s capacity = %v, want %v", key, l.Cap, want)
+		}
+	}
+	if len(imp.Demands) != 4 {
+		t.Fatalf("Demands = %d entries, want 4", len(imp.Demands))
+	}
+	var total float64
+	for _, d := range imp.Demands {
+		total += d.Volume
+	}
+	if total != 12+7.5+3.25+5 {
+		t.Errorf("total demand = %v, want %v", total, 12+7.5+3.25+5.0)
+	}
+}
+
+func TestReadGraphMLRejectsGarbage(t *testing.T) {
+	if _, err := ReadGraphML(strings.NewReader("not xml at all"), Options{}); err == nil {
+		t.Error("garbage input parsed without error")
+	}
+	if _, err := ReadGraphML(strings.NewReader("<graphml></graphml>"), Options{}); err == nil {
+		t.Error("graph-less document parsed without error")
+	}
+}
+
+func TestReadGraphMLUnknownEndpoint(t *testing.T) {
+	const doc = `<graphml><graph edgedefault="undirected">
+		<node id="a"/><edge source="a" target="ghost"/></graph></graphml>`
+	if _, err := ReadGraphML(strings.NewReader(doc), Options{}); err == nil {
+		t.Error("edge to unknown node parsed without error")
+	}
+}
+
+func TestReadSNDlibRejectsTruncated(t *testing.T) {
+	const doc = `NODES (
+	  N1 ( 0 0 )
+	LINKS (`
+	if _, err := ReadSNDlib(strings.NewReader(doc), Options{}); err == nil {
+		t.Error("truncated document parsed without error")
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	got := sanitizeNames([]string{"New York", "", "A", "A", "A.2"}, func(i int) string { return "fallback" })
+	want := []string{"New_York", "fallback", "A", "A.2", "A.2.2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sanitizeNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{5}, 5},
+		{[]float64{1, 9}, 5},
+		{[]float64{2.5, 10, 10, 2.5}, 6.25},
+		{[]float64{1, 2, 100}, 2},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUnitlessLinkSpeedFallsThroughToInference(t *testing.T) {
+	// A LinkSpeed number without a LinkSpeedUnits partner is
+	// meaningless (its magnitude could be anything), so it must not be
+	// treated as an annotation: the edge falls through to inference
+	// and takes the median of the genuinely annotated capacities.
+	const doc = `<graphml>
+		<key attr.name="LinkSpeed" attr.type="string" for="edge" id="d0"/>
+		<key attr.name="LinkSpeedRaw" attr.type="double" for="edge" id="d1"/>
+		<graph edgedefault="undirected">
+		<node id="a"/><node id="b"/><node id="c"/>
+		<edge source="a" target="b"><data key="d0">10</data></edge>
+		<edge source="b" target="c"><data key="d1">4000000000</data></edge>
+		</graph></graphml>`
+	imp, err := ReadGraphML(strings.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.InferredLinks != 2 {
+		t.Errorf("InferredLinks = %d, want 2 (the unit-less edge)", imp.InferredLinks)
+	}
+	for _, l := range imp.G.Links() {
+		if l.Cap != 4 {
+			t.Errorf("link %d-%d capacity = %v, want 4 (annotated or median-inferred)", l.From, l.To, l.Cap)
+		}
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	const doc = `<graphml><graph edgedefault="undirected">
+		<node id="a"/><node id="b"/>
+		<edge source="a" target="a"/>
+		<edge source="a" target="b"/></graph></graphml>`
+	imp, err := ReadGraphML(strings.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := imp.G.NumLinks(); got != 2 {
+		t.Errorf("NumLinks = %d, want 2 (self-loop dropped)", got)
+	}
+}

@@ -1,0 +1,38 @@
+// Package traffic models traffic demands and the workloads the
+// evaluation system generates.
+//
+// # Matrices
+//
+// Matrix is a dense n-by-n demand matrix (entry (s,t) is the offered
+// volume from s to t) with the operations the scenario grid needs:
+// scaling to a target network load (total demand over total capacity,
+// the paper's load axis), per-destination column extraction (the
+// commodity vectors of the optimizers), and an O(n) Fingerprint used
+// as a cheap negative filter in front of exact comparisons.
+//
+// # Generators
+//
+// Single-matrix workloads, all seeded and deterministic:
+//
+//   - FortzThorup — the INFOCOM'00 synthetic model the paper uses for
+//     Abilene and the generated topologies.
+//   - Gravity / GravityFriction — gravity matrices from per-node
+//     volumes, optionally distance-discounted; fed by
+//     SyntheticVolumes' log-normal node volumes (the Cernet2 Netflow
+//     stand-in).
+//   - UniformMesh — constant volume per ordered pair (stress tests).
+//
+// CanonicalMatrix fixes the canonical workload of each Table III
+// network (shared seeds, so the experiment harness, the registry and
+// EXPERIMENTS.md's recorded numbers all agree).
+//
+// # Temporal sequences
+//
+// A []Step is a labeled load-over-time series. Diurnal sweeps a base
+// matrix through a sinusoidal day cycle between trough and peak
+// multipliers; Hotspots overlays a deterministic flash-crowd burst
+// (seeded pairs boosted during the middle third of the cycle).
+// SumSteps and PeakLoad are the aggregates the scenario grid uses to
+// decide failure routability once per sequence and to anchor its load
+// axis at the busiest step.
+package traffic

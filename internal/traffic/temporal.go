@@ -1,0 +1,165 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Step is one point of a temporal demand sequence: a labeled traffic
+// matrix. A sequence ([]Step) models load-over-time — the diurnal
+// cycle, burst windows — and is what the scenario grid expands into a
+// time axis.
+type Step struct {
+	// Label names the step in scenario names ("t00", "t01", ...).
+	Label string
+	// M is the step's demand matrix.
+	M *Matrix
+}
+
+// Diurnal expands a base matrix into a sinusoidal day cycle of the
+// given number of steps: step i carries the base matrix scaled by
+//
+//	trough + (peak - trough) * (1 - cos(2*pi*i/steps)) / 2,
+//
+// so step 0 (midnight) runs at the trough multiplier and step steps/2
+// (midday) at the peak. Labels are "t00", "t01", ... — hour-of-day for
+// the canonical steps=24, abstract phase indices otherwise. The shape
+// follows the classic diurnal profiles of backbone traffic studies:
+// smooth rise, single daily peak, smooth decay.
+func Diurnal(base *Matrix, steps int, peak, trough float64) ([]Step, error) {
+	switch {
+	case base == nil:
+		return nil, errors.New("traffic: diurnal needs a base matrix")
+	case steps < 1:
+		return nil, fmt.Errorf("traffic: diurnal needs at least 1 step, got %d", steps)
+	case !(trough > 0) || math.IsNaN(trough) || math.IsInf(trough, 0):
+		return nil, fmt.Errorf("traffic: diurnal trough %v must be positive and finite", trough)
+	case peak < trough || math.IsNaN(peak) || math.IsInf(peak, 0):
+		return nil, fmt.Errorf("traffic: diurnal peak %v must be finite and >= trough %v", peak, trough)
+	}
+	out := make([]Step, steps)
+	for i := 0; i < steps; i++ {
+		scale := trough + (peak-trough)*(1-math.Cos(2*math.Pi*float64(i)/float64(steps)))/2
+		m, err := base.Scaled(scale)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Step{Label: fmt.Sprintf("t%02d", i), M: m}
+	}
+	return out, nil
+}
+
+// Hotspots overlays a deterministic burst onto a temporal sequence:
+// count source-destination pairs are drawn (seeded, degree-blind,
+// uniform over ordered pairs with positive demand somewhere in the
+// sequence) and their volumes are multiplied by boost during the burst
+// window — the middle third of the sequence, steps [len/3, 2*len/3).
+// This models the flash-crowd/hotspot events that break
+// gravity-shaped matrices: a few pairs surge while the rest of the
+// network keeps its diurnal shape. The input steps are not modified;
+// boosted steps carry copies.
+func Hotspots(steps []Step, seed int64, count int, boost float64) ([]Step, error) {
+	switch {
+	case len(steps) == 0:
+		return nil, errors.New("traffic: hotspots need a non-empty sequence")
+	case count < 1:
+		return nil, fmt.Errorf("traffic: hotspot count %d must be positive", count)
+	case !(boost > 0) || math.IsNaN(boost) || math.IsInf(boost, 0):
+		return nil, fmt.Errorf("traffic: hotspot boost %v must be positive and finite", boost)
+	}
+	// Candidate pairs: positive somewhere in the sequence, in row-major
+	// order so the draw is deterministic.
+	n := steps[0].M.Size()
+	var pairs [][2]int
+	for s := 0; s < n; s++ {
+		for t := 0; t < n; t++ {
+			if s == t {
+				continue
+			}
+			for _, st := range steps {
+				if st.M.At(s, t) > 0 {
+					pairs = append(pairs, [2]int{s, t})
+					break
+				}
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("traffic: hotspots need positive demands")
+	}
+	if count > len(pairs) {
+		count = len(pairs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	chosen := make(map[[2]int]bool, count)
+	for len(chosen) < count {
+		chosen[pairs[rng.Intn(len(pairs))]] = true
+	}
+	lo, hi := len(steps)/3, 2*len(steps)/3
+	if hi == lo {
+		hi = lo + 1 // short sequences still get one burst step
+	}
+	out := make([]Step, len(steps))
+	copy(out, steps)
+	for i := lo; i < hi && i < len(out); i++ {
+		m := out[i].M.Clone()
+		for p := range chosen {
+			if v := m.At(p[0], p[1]); v > 0 {
+				if err := m.Set(p[0], p[1], v*boost); err != nil {
+					return nil, err
+				}
+			}
+		}
+		out[i] = Step{Label: out[i].Label, M: m}
+	}
+	return out, nil
+}
+
+// SumSteps accumulates every step of a sequence into one matrix — the
+// union workload used to decide failure-variant routability once for a
+// whole sequence (an entry is positive in the sum iff it is positive
+// in some step).
+func SumSteps(steps []Step) (*Matrix, error) {
+	if len(steps) == 0 {
+		return nil, errors.New("traffic: cannot sum an empty sequence")
+	}
+	n := steps[0].M.Size()
+	sum := NewMatrix(n)
+	for _, st := range steps {
+		if st.M.Size() != n {
+			return nil, fmt.Errorf("traffic: sequence step %q covers %d nodes, want %d", st.Label, st.M.Size(), n)
+		}
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if v := st.M.At(s, t); v > 0 {
+					if err := sum.Add(s, t, v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return sum, nil
+}
+
+// PeakLoad returns the maximum NetworkLoad any step of the sequence
+// places on g — the normalization anchor when a load axis rescales a
+// temporal sequence (the requested load is the peak step's load, the
+// other steps keep their relative depth).
+func PeakLoad(steps []Step, g *graph.Graph) float64 {
+	total := g.TotalCapacity()
+	if total == 0 {
+		return 0
+	}
+	var peak float64
+	for _, st := range steps {
+		if l := st.M.Total() / total; l > peak {
+			peak = l
+		}
+	}
+	return peak
+}

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func baseMatrix(t *testing.T, n int) *Matrix {
+	t.Helper()
+	m, err := FortzThorup(11, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDiurnal(t *testing.T) {
+	base := baseMatrix(t, 8)
+	steps, err := Diurnal(base, 24, 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 24 {
+		t.Fatalf("%d steps, want 24", len(steps))
+	}
+	total := base.Total()
+	// Step 0 is the trough, step 12 the peak, and the profile is
+	// symmetric around it.
+	if got := steps[0].M.Total(); math.Abs(got-0.2*total) > 1e-9*total {
+		t.Errorf("step 0 total = %v, want trough 0.2x", got/total)
+	}
+	if got := steps[12].M.Total(); math.Abs(got-total) > 1e-9*total {
+		t.Errorf("step 12 total = %v, want peak 1.0x", got/total)
+	}
+	for i := 1; i < 12; i++ {
+		a, b := steps[i].M.Total(), steps[24-i].M.Total()
+		if math.Abs(a-b) > 1e-9*total {
+			t.Errorf("profile asymmetric at %d: %v vs %v", i, a, b)
+		}
+		if !(a > steps[i-1].M.Total()) {
+			t.Errorf("profile not rising at step %d", i)
+		}
+	}
+	if steps[0].Label != "t00" || steps[23].Label != "t23" {
+		t.Errorf("labels %q..%q, want t00..t23", steps[0].Label, steps[23].Label)
+	}
+	// The base matrix is untouched.
+	if base.Total() != total {
+		t.Error("Diurnal mutated its base matrix")
+	}
+	if _, err := Diurnal(base, 0, 1, 0.2); err == nil {
+		t.Error("steps=0 accepted")
+	}
+	if _, err := Diurnal(base, 4, 0.1, 0.2); err == nil {
+		t.Error("peak < trough accepted")
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	base := baseMatrix(t, 8)
+	steps, err := Diurnal(base, 9, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := Hotspots(steps, 3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst window is the middle third: steps 3..5.
+	for i := range steps {
+		plain, boosted := steps[i].M.Total(), burst[i].M.Total()
+		if i >= 3 && i < 6 {
+			if !(boosted > plain) {
+				t.Errorf("burst step %d not boosted: %v vs %v", i, boosted, plain)
+			}
+		} else if boosted != plain {
+			t.Errorf("off-burst step %d modified: %v vs %v", i, boosted, plain)
+		}
+	}
+	// Deterministic for a fixed seed.
+	again, err := Hotspots(steps, 3, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range burst {
+		if burst[i].M.Total() != again[i].M.Total() {
+			t.Errorf("step %d differs across runs with the same seed", i)
+		}
+	}
+	// The input sequence is untouched.
+	fresh, _ := Diurnal(base, 9, 1, 0.5)
+	for i := range steps {
+		if steps[i].M.Total() != fresh[i].M.Total() {
+			t.Errorf("Hotspots mutated input step %d", i)
+		}
+	}
+	if _, err := Hotspots(nil, 1, 1, 2); err == nil {
+		t.Error("empty sequence accepted")
+	}
+	if _, err := Hotspots(steps, 1, 0, 2); err == nil {
+		t.Error("count=0 accepted")
+	}
+}
+
+func TestSumStepsAndPeakLoad(t *testing.T) {
+	base := baseMatrix(t, 6)
+	steps, err := Diurnal(base, 4, 1, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SumSteps(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum positivity equals union positivity.
+	for s := 0; s < 6; s++ {
+		for u := 0; u < 6; u++ {
+			if s == u {
+				continue
+			}
+			if (sum.At(s, u) > 0) != (base.At(s, u) > 0) {
+				t.Errorf("sum positivity differs from base at (%d,%d)", s, u)
+			}
+		}
+	}
+	if _, err := SumSteps(nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+
+	g := graph.New(6)
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			if _, _, err := g.AddDuplex(a, b, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	peak := PeakLoad(steps, g)
+	want := steps[2].M.NetworkLoad(g) // step 2 of 4 is the cycle's peak
+	if math.Abs(peak-want) > 1e-12 {
+		t.Errorf("PeakLoad = %v, want the peak step's load %v", peak, want)
+	}
+}

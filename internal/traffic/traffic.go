@@ -1,7 +1,3 @@
-// Package traffic models traffic demands (source-destination volume
-// pairs) and the demand generators used by the paper's evaluation:
-// Fortz-Thorup style synthetic demands, the gravity model fed by per-node
-// volumes, and uniform scaling of a matrix to a target network load.
 package traffic
 
 import (

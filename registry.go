@@ -2,6 +2,8 @@ package spef
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,13 +14,18 @@ import (
 
 // This file is the topology and demand registry: the string-addressable
 // catalog Suite specs, cmd/spef suite and cmd/topogen resolve networks
-// and workloads through. Topology specs are either registered names
+// and workloads through. Topology specs are registered names
 // ("abilene", "cernet2", "fig1", "simple", "hier50a", "hier50b",
 // "rand50a", "rand50b", "rand100" — the paper's Table III set plus the
-// worked examples) or parameterized generators
-// ("rand:n=50,links=242,seed=1", "hier:n=50,clusters=5,links=222,seed=1").
-// Demand specs name a generator with optional parameters ("ft:seed=7",
-// "gravity:seed=1,sigma=0.5", "uniform:v=2", "none").
+// worked examples), parameterized generators ("rand:n=50,links=242",
+// "hier:...", "waxman:n=50,alpha=0.4,beta=0.2", "ba:n=50,m=2",
+// "fattree:k=4", "grid:rows=5,cols=5"), or dataset importers
+// ("zoo:file=net.graphml", "sndlib:file=net.txt"). Demand specs name a
+// generator with optional parameters ("ft:seed=7",
+// "gravity:seed=1,sigma=0.5", "uniform:v=2", "none"); temporal demand
+// sequences ("gravity-diurnal:steps=24", "ft-diurnal:...") resolve
+// through ResolveDemandSequence into a time axis. `spef catalog`
+// renders the full inventory (see NewCatalog).
 
 // TopologyInfo describes one registered named topology.
 type TopologyInfo struct {
@@ -129,9 +136,88 @@ func resolveTopology(spec string, withDemands bool) (Topology, error) {
 			return Topology{}, err
 		}
 		return canonicalTopology(spec, "", n, withDemands)
-	}
-	if err := onlyParams(spec, params); err != nil {
-		return Topology{}, err
+	case "waxman":
+		if err := onlyParams(spec, params, "n", "alpha", "beta", "seed"); err != nil {
+			return Topology{}, err
+		}
+		seed, err := intParam(params, "seed", 1)
+		if err != nil {
+			return Topology{}, err
+		}
+		nodes, err := intParam(params, "n", 50)
+		if err != nil {
+			return Topology{}, err
+		}
+		alpha, err := floatParam(params, "alpha", 0.4)
+		if err != nil {
+			return Topology{}, err
+		}
+		beta, err := floatParam(params, "beta", 0.2)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := WaxmanNetwork(seed, int(nodes), alpha, beta)
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	case "ba":
+		if err := onlyParams(spec, params, "n", "m", "seed"); err != nil {
+			return Topology{}, err
+		}
+		seed, err := intParam(params, "seed", 1)
+		if err != nil {
+			return Topology{}, err
+		}
+		nodes, err := intParam(params, "n", 50)
+		if err != nil {
+			return Topology{}, err
+		}
+		m, err := intParam(params, "m", 2)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := BarabasiAlbertNetwork(seed, int(nodes), int(m))
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	case "fattree":
+		if err := onlyParams(spec, params, "k"); err != nil {
+			return Topology{}, err
+		}
+		k, err := intParam(params, "k", 4)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := FatTreeNetwork(int(k))
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	case "grid":
+		if err := onlyParams(spec, params, "rows", "cols", "wrap"); err != nil {
+			return Topology{}, err
+		}
+		rows, err := intParam(params, "rows", 5)
+		if err != nil {
+			return Topology{}, err
+		}
+		cols, err := intParam(params, "cols", 5)
+		if err != nil {
+			return Topology{}, err
+		}
+		wrap, err := intParam(params, "wrap", 0)
+		if err != nil {
+			return Topology{}, err
+		}
+		n, err := GridNetwork(int(rows), int(cols), wrap != 0)
+		if err != nil {
+			return Topology{}, err
+		}
+		return canonicalTopology(spec, "", n, withDemands)
+	case "zoo", "sndlib":
+		return importedTopology(name, spec, params, withDemands)
 	}
 	nets, err := topo.Table3Networks()
 	if err != nil {
@@ -139,10 +225,89 @@ func resolveTopology(spec string, withDemands bool) (Topology, error) {
 	}
 	for _, net := range nets {
 		if strings.EqualFold(net.ID, name) {
+			if err := onlyParams(spec, params); err != nil {
+				return Topology{}, err
+			}
 			return canonicalTopology(net.ID, net.ID, &Network{g: net.G}, withDemands)
 		}
 	}
-	return Topology{}, fmt.Errorf("%w: unknown topology %q (known: %s)", ErrBadInput, spec, knownTopologies())
+	// The name matched nothing: report the unknown name (with a
+	// near-miss suggestion against the bare spec names) rather than
+	// whatever parameters rode along with the typo.
+	return Topology{}, fmt.Errorf("%w: unknown topology %q%s (known: %s)",
+		ErrBadInput, spec, suggest(name, append(namedTopologies(), docNames(topologyGeneratorDocs)...)), knownTopologies())
+}
+
+// importedTopology resolves the "zoo:file=..." and "sndlib:file=..."
+// importer specs. The topology is named by the file's self-declared
+// name, falling back to the file's base name. SNDlib demands, when
+// present, become the topology's canonical workload; otherwise (and
+// for GraphML, which carries none) the generic synthetic workload
+// applies.
+func importedTopology(kind, spec string, params map[string]string, withDemands bool) (Topology, error) {
+	allowed := []string{"file", "cap"}
+	if kind == "zoo" {
+		allowed = append(allowed, "unit")
+	}
+	if err := onlyParams(spec, params, allowed...); err != nil {
+		return Topology{}, err
+	}
+	path, ok := params["file"]
+	if !ok || path == "" {
+		return Topology{}, fmt.Errorf("%w: spec %q needs file=PATH", ErrBadInput, spec)
+	}
+	opts := ImportOptions{}
+	var err error
+	if opts.DefaultCapacity, err = floatParam(params, "cap", 0); err != nil {
+		return Topology{}, err
+	}
+	if _, set := params["cap"]; set && opts.DefaultCapacity <= 0 {
+		return Topology{}, fmt.Errorf("%w: spec %q: cap=%v must be positive", ErrBadInput, spec, opts.DefaultCapacity)
+	}
+	if opts.CapacityUnit, err = floatParam(params, "unit", 0); err != nil {
+		return Topology{}, err
+	}
+	if _, set := params["unit"]; set && opts.CapacityUnit <= 0 {
+		return Topology{}, fmt.Errorf("%w: spec %q: unit=%v must be positive", ErrBadInput, spec, opts.CapacityUnit)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("%w: spec %q: %v", ErrBadInput, spec, err)
+	}
+	defer f.Close()
+	var imp *ImportedNetwork
+	if kind == "zoo" {
+		imp, err = ReadTopologyZoo(f, opts)
+	} else {
+		imp, err = ReadSNDlib(f, opts)
+	}
+	if err != nil {
+		return Topology{}, fmt.Errorf("spec %q: %w", spec, err)
+	}
+	name := imp.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	if imp.Demands != nil {
+		// The file's own workload is the topology's defining demand set;
+		// it is attached regardless of withDemands (it is already built).
+		return Topology{Name: name, Network: imp.Network, Demands: imp.Demands}, nil
+	}
+	return canonicalTopology(name, "", imp.Network, withDemands)
+}
+
+// namedTopologies lists the registry's named topology specs (for error
+// messages), or a static fallback if the registry fails to build.
+func namedTopologies() []string {
+	infos, err := RegisteredTopologies()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(infos))
+	for i, t := range infos {
+		names[i] = t.Name
+	}
+	return names
 }
 
 func builtinExample(name string, params map[string]string, build func() (*Network, *Demands, error)) (Topology, error) {
@@ -173,16 +338,9 @@ func canonicalTopology(name, canonicalID string, n *Network, withDemands bool) (
 }
 
 func knownTopologies() string {
-	infos, err := RegisteredTopologies()
-	if err != nil {
-		return "rand:..., hier:..."
-	}
-	names := make([]string, 0, len(infos)+2)
-	for _, i := range infos {
-		names = append(names, i.Name)
-	}
+	names := namedTopologies()
 	sort.Strings(names)
-	return strings.Join(append(names, "rand:...", "hier:..."), ", ")
+	return strings.Join(append(names, specNames(topologyGeneratorDocs)...), ", ")
 }
 
 // ResolveDemands resolves a demand-generator spec for the network:
@@ -244,7 +402,116 @@ func ResolveDemands(spec string, n *Network) (*Demands, error) {
 		}
 		return &Demands{m: m}, nil
 	}
-	return nil, fmt.Errorf("%w: unknown demand generator %q (known: ft, gravity, uniform, none)", ErrBadInput, spec)
+	if isSequenceSpec(name) {
+		return nil, fmt.Errorf("%w: %q is a temporal demand sequence, not a single matrix — use it as a Suite demand spec or resolve it with ResolveDemandSequence", ErrBadInput, spec)
+	}
+	return nil, fmt.Errorf("%w: unknown demand generator %q%s (known: %s; sequences: %s)",
+		ErrBadInput, spec, suggest(name, append(docNames(demandDocs), docNames(sequenceDocs)...)),
+		strings.Join(specNames(demandDocs), ", "), strings.Join(specNames(sequenceDocs), ", "))
+}
+
+// isSequenceSpec reports whether name is a temporal demand-sequence
+// generator (resolvable by ResolveDemandSequence, not ResolveDemands).
+func isSequenceSpec(name string) bool {
+	for _, d := range sequenceDocs {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveDemandSequence resolves a temporal demand-sequence spec for
+// the network into its labeled steps:
+//
+//   - "gravity-diurnal" / "gravity-diurnal:seed=N,sigma=S,steps=K,
+//     peak=P,trough=T,hotspots=H,boost=B" — the gravity matrix of
+//     "gravity:seed=N,sigma=S" swept through a sinusoidal day cycle of
+//     K steps between multipliers T (step 0, midnight) and P (midday);
+//     when H > 0, H random source-destination pairs are boosted by
+//     factor B during the middle third of the cycle.
+//   - "ft-diurnal:..." — the same cycle over a Fortz-Thorup matrix.
+//
+// The second return is false (with a nil error) whenever the spec's
+// name is not a sequence generator — an ordinary single-matrix
+// generator or a typo alike; callers fall back to ResolveDemands,
+// which reports unknown names with the full spec inventory. An error
+// is returned only for sequence specs with bad parameters.
+func ResolveDemandSequence(spec string, n *Network) ([]DemandStep, bool, error) {
+	name, params, err := parseSpec(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	if !isSequenceSpec(name) {
+		return nil, false, nil
+	}
+	var base *Demands
+	allowed := []string{"seed", "steps", "peak", "trough", "hotspots", "boost"}
+	seed, err := intParam(params, "seed", 1)
+	if err != nil {
+		return nil, false, err
+	}
+	switch name {
+	case "gravity-diurnal":
+		allowed = append(allowed, "sigma")
+		if err := onlyParams(spec, params, allowed...); err != nil {
+			return nil, false, err
+		}
+		sigma, err := floatParam(params, "sigma", 0.5)
+		if err != nil {
+			return nil, false, err
+		}
+		vols := traffic.SyntheticVolumes(seed, n.NumNodes(), sigma)
+		if base, err = GravityDemands(n, vols, n.TotalCapacity()); err != nil {
+			return nil, false, err
+		}
+	case "ft-diurnal":
+		if err := onlyParams(spec, params, allowed...); err != nil {
+			return nil, false, err
+		}
+		if base, err = FortzThorupDemands(seed, n); err != nil {
+			return nil, false, err
+		}
+	default:
+		// isSequenceSpec and this switch must agree; a sequenceDocs
+		// entry without a base-matrix case is a registry bug, not a
+		// user error, but fail with an error rather than a nil deref.
+		return nil, false, fmt.Errorf("%w: sequence spec %q has no base-matrix builder (registry bug)", ErrBadInput, spec)
+	}
+	steps, err := intParam(params, "steps", 24)
+	if err != nil {
+		return nil, false, err
+	}
+	peak, err := floatParam(params, "peak", 1)
+	if err != nil {
+		return nil, false, err
+	}
+	trough, err := floatParam(params, "trough", 0.2)
+	if err != nil {
+		return nil, false, err
+	}
+	seq, err := traffic.Diurnal(base.m, int(steps), peak, trough)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: spec %q: %v", ErrBadInput, spec, err)
+	}
+	hotspots, err := intParam(params, "hotspots", 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if hotspots > 0 {
+		boost, err := floatParam(params, "boost", 4)
+		if err != nil {
+			return nil, false, err
+		}
+		if seq, err = traffic.Hotspots(seq, seed, int(hotspots), boost); err != nil {
+			return nil, false, fmt.Errorf("%w: spec %q: %v", ErrBadInput, spec, err)
+		}
+	}
+	out := make([]DemandStep, len(seq))
+	for i, st := range seq {
+		out[i] = DemandStep{Label: st.Label, Demands: &Demands{m: st.M}}
+	}
+	return out, true, nil
 }
 
 // parseSpec splits "name:key=val,key=val" into its name and parameters.

@@ -10,13 +10,29 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
 
 // Topology names a network and its base demand matrix for grid
-// expansion.
+// expansion. Steps optionally replaces the single base matrix with a
+// temporal demand sequence (diurnal cycles, burst overlays — see
+// ResolveDemandSequence); the grid then expands a time axis per
+// topology, and Demands may be nil.
 type Topology struct {
 	Name    string
 	Network *Network
+	Demands *Demands
+	Steps   []DemandStep
+}
+
+// DemandStep is one point of a temporal demand sequence: a labeled
+// traffic matrix. Grid expansion turns a Topology's Steps into a time
+// axis — one cell per step per load per router — with the Loads axis
+// anchored to the sequence's peak step (see Grid.Scenarios).
+type DemandStep struct {
+	// Label names the step in scenario names ("t00", ...).
+	Label string
+	// Demands is the step's traffic matrix.
 	Demands *Demands
 }
 
@@ -36,8 +52,12 @@ type Scenario struct {
 	// Router is the scheme under evaluation.
 	Router Router
 	// Load is the network load the demands were scaled to (0 = the
-	// topology's demands were used as-is).
+	// topology's demands were used as-is). For temporal sequences the
+	// load anchors the sequence's peak step; off-peak cells carry the
+	// peak-anchored load with their own step's smaller matrix.
 	Load float64
+	// Step names the temporal demand step ("" = no time axis).
+	Step string
 	// FailedLink names the failed duplex pair ("" = intact topology).
 	FailedLink string
 }
@@ -51,11 +71,13 @@ type ScenarioResult struct {
 	// results arrive in completion order; sorting by Index restores the
 	// deterministic batch order.
 	Index int
-	// Scenario, Topology, Router, Load and FailedLink echo the cell.
+	// Scenario, Topology, Router, Load, Step and FailedLink echo the
+	// cell.
 	Scenario   string
 	Topology   string
 	Router     string
 	Load       float64
+	Step       string
 	FailedLink string
 	// MetricNames lists the computed metrics in configuration order;
 	// Metrics maps each name to its value (valid when Err is nil).
@@ -121,8 +143,15 @@ type Grid struct {
 }
 
 // Scenarios expands the grid into its concrete cells. The expansion is
-// deterministic: topologies in order, then loads, then failure
-// variants (intact first), then routers (beta-expanded in Betas order).
+// deterministic: topologies in order, then loads, then temporal steps
+// (when the topology carries a demand sequence), then failure variants
+// (intact first), then routers (beta-expanded in Betas order).
+//
+// For a topology with Steps, each load anchors the sequence's peak:
+// the whole sequence is scaled uniformly so its highest-load step hits
+// the requested network load, and every other step keeps its relative
+// depth — "what the requested load means at the busiest hour". Without
+// loads the sequence runs at its native scale.
 func (g Grid) Scenarios() ([]Scenario, error) {
 	routers := g.expandRouters()
 	if len(routers) == 0 {
@@ -137,57 +166,133 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 	}
 	var cells []Scenario
 	for _, topo := range g.Topologies {
-		if topo.Network == nil || topo.Demands == nil {
+		if topo.Network == nil || (topo.Demands == nil && len(topo.Steps) == 0) {
 			return nil, fmt.Errorf("%w: topology %q missing network or demands", ErrBadInput, topo.Name)
+		}
+		for _, st := range topo.Steps {
+			if st.Demands == nil {
+				return nil, fmt.Errorf("%w: topology %q step %q has no demands", ErrBadInput, topo.Name, st.Label)
+			}
 		}
 		// Failure variants depend only on the intact topology and the
 		// demands' positivity pattern, which load scaling (a positive
 		// scalar multiply) preserves — compute them once per topology.
+		// For a temporal sequence the union of all steps decides
+		// routability, so a failure variant either appears for the whole
+		// sequence or not at all.
 		variants := []failureVariant{{net: topo.Network}}
 		if g.SingleLinkFailures {
-			fv, err := failureVariants(topo.Network, topo.Demands)
+			routability := topo.Demands
+			if len(topo.Steps) > 0 {
+				var err error
+				if routability, err = sumSteps(topo.Steps); err != nil {
+					return nil, fmt.Errorf("spef: grid topology %q: %w", topo.Name, err)
+				}
+			}
+			fv, err := failureVariants(topo.Network, routability)
 			if err != nil {
 				return nil, fmt.Errorf("spef: grid topology %q: %w", topo.Name, err)
 			}
 			variants = append(variants, fv...)
 		}
 		for _, load := range loads {
-			d := topo.Demands
-			prefix := topo.Name
-			if load > 0 {
-				var err error
-				if d, err = d.ScaledToLoad(topo.Network, load); err != nil {
-					return nil, fmt.Errorf("spef: grid topology %q load %g: %w", topo.Name, load, err)
-				}
-				prefix = fmt.Sprintf("%s/load=%g", topo.Name, load)
+			steps, prefix, err := topo.stepsAtLoad(load)
+			if err != nil {
+				return nil, err
 			}
-			for _, v := range variants {
+			for _, st := range steps {
 				name := prefix
-				if v.failedLink != "" {
-					name = fmt.Sprintf("%s/fail=%s", prefix, v.failedLink)
+				if st.Label != "" {
+					name = fmt.Sprintf("%s/t=%s", prefix, st.Label)
 				}
-				for _, r := range routers {
-					if v.keep != nil {
-						// Project explicitly-configured per-link
-						// weights onto the survivors: the stale-weight
-						// semantics of a deployment between failure
-						// and re-optimization.
-						r = reindexRouter(r, v.keep)
+				for _, v := range variants {
+					vname := name
+					if v.failedLink != "" {
+						vname = fmt.Sprintf("%s/fail=%s", name, v.failedLink)
 					}
-					cells = append(cells, Scenario{
-						Name:       fmt.Sprintf("%s/%s", name, r.Name()),
-						Topology:   topo.Name,
-						Network:    v.net,
-						Demands:    d,
-						Router:     r,
-						Load:       load,
-						FailedLink: v.failedLink,
-					})
+					for _, r := range routers {
+						if v.keep != nil {
+							// Project explicitly-configured per-link
+							// weights onto the survivors: the stale-weight
+							// semantics of a deployment between failure
+							// and re-optimization.
+							r = reindexRouter(r, v.keep)
+						}
+						cells = append(cells, Scenario{
+							Name:       fmt.Sprintf("%s/%s", vname, r.Name()),
+							Topology:   topo.Name,
+							Network:    v.net,
+							Demands:    st.Demands,
+							Router:     r,
+							Load:       load,
+							Step:       st.Label,
+							FailedLink: v.failedLink,
+						})
+					}
 				}
 			}
 		}
 	}
 	return cells, nil
+}
+
+// stepsAtLoad resolves one (topology, load) pair into the concrete
+// demand steps and the scenario-name prefix. A step-less topology
+// yields one unlabeled step: its base matrix, load-scaled exactly as
+// before the time axis existed. A temporal topology yields every step,
+// uniformly scaled so the sequence's peak step carries the requested
+// load.
+func (t Topology) stepsAtLoad(load float64) ([]DemandStep, string, error) {
+	prefix := t.Name
+	if load > 0 {
+		prefix = fmt.Sprintf("%s/load=%g", t.Name, load)
+	}
+	if len(t.Steps) == 0 {
+		d := t.Demands
+		if load > 0 {
+			var err error
+			if d, err = d.ScaledToLoad(t.Network, load); err != nil {
+				return nil, "", fmt.Errorf("spef: grid topology %q load %g: %w", t.Name, load, err)
+			}
+		}
+		return []DemandStep{{Demands: d}}, prefix, nil
+	}
+	if load <= 0 {
+		return t.Steps, prefix, nil
+	}
+	peak := traffic.PeakLoad(rawSteps(t.Steps), t.Network.g)
+	if peak == 0 {
+		return nil, "", fmt.Errorf("spef: grid topology %q load %g: temporal sequence is all-zero", t.Name, load)
+	}
+	out := make([]DemandStep, len(t.Steps))
+	for i, st := range t.Steps {
+		d, err := st.Demands.Scaled(load / peak)
+		if err != nil {
+			return nil, "", fmt.Errorf("spef: grid topology %q load %g step %q: %w", t.Name, load, st.Label, err)
+		}
+		out[i] = DemandStep{Label: st.Label, Demands: d}
+	}
+	return out, prefix, nil
+}
+
+// rawSteps converts the public step representation to the traffic
+// package's, sharing the underlying matrices.
+func rawSteps(steps []DemandStep) []traffic.Step {
+	raw := make([]traffic.Step, len(steps))
+	for i, st := range steps {
+		raw[i] = traffic.Step{Label: st.Label, M: st.Demands.m}
+	}
+	return raw
+}
+
+// sumSteps accumulates a sequence into one union matrix (positive
+// where any step is positive) for failure-routability checks.
+func sumSteps(steps []DemandStep) (*Demands, error) {
+	m, err := traffic.SumSteps(rawSteps(steps))
+	if err != nil {
+		return nil, err
+	}
+	return &Demands{m: m}, nil
 }
 
 // expandRouters applies the Betas axis to every beta-configurable
@@ -287,16 +392,17 @@ type RunOptions struct {
 	Progress func(completed, total int)
 	// ReuseWeights optimizes each (topology, failure variant, router)
 	// group's weights once — at the group's first cell, which under
-	// Grid expansion is the first load factor — and re-simulates the
-	// extracted fixed weights across the group's remaining cells
-	// instead of re-optimizing per load. This is both a large speedup
-	// on load sweeps and a different (documented) semantics: every cell
-	// of the group reports the performance of the reference cell's
-	// weights under its own load, the deployed-weights robustness
-	// question, rather than per-load re-optimization. Routers that
-	// carry no extractable optimization (OSPF, Optimal, fixed-weight
-	// variants) run unchanged. Results remain deterministic for any
-	// worker count.
+	// Grid expansion is the first load factor and, for a temporal
+	// demand sequence, its first step — and re-simulates the extracted
+	// fixed weights across the group's remaining cells instead of
+	// re-optimizing per load (and per step: the group spans the whole
+	// time axis). This is both a large speedup on load sweeps and a
+	// different (documented) semantics: every cell of the group reports
+	// the performance of the reference cell's weights under its own
+	// load and step, the deployed-weights robustness question, rather
+	// than per-cell re-optimization. Routers that carry no extractable
+	// optimization (OSPF, Optimal, fixed-weight variants) run
+	// unchanged. Results remain deterministic for any worker count.
 	ReuseWeights bool
 }
 
@@ -397,6 +503,7 @@ func resultShell(idx int, s Scenario) ScenarioResult {
 		Topology:   s.Topology,
 		Router:     s.Router.Name(),
 		Load:       s.Load,
+		Step:       s.Step,
 		FailedLink: s.FailedLink,
 	}
 }

@@ -98,6 +98,7 @@ type jsonlRecord struct {
 	Topology    string               `json:"topology,omitempty"`
 	Router      string               `json:"router,omitempty"`
 	Load        float64              `json:"load,omitempty"`
+	Step        string               `json:"step,omitempty"`
 	FailedLink  string               `json:"failed_link,omitempty"`
 	MetricNames []string             `json:"metric_names,omitempty"`
 	Metrics     map[string]jsonFloat `json:"metrics,omitempty"`
@@ -124,6 +125,7 @@ func (s *JSONLSink) Write(r ScenarioResult) error {
 		Topology:    r.Topology,
 		Router:      r.Router,
 		Load:        r.Load,
+		Step:        r.Step,
 		FailedLink:  r.FailedLink,
 		MetricNames: r.MetricNames,
 		RuntimeMS:   float64(r.Runtime) / float64(time.Millisecond),
@@ -166,7 +168,7 @@ func (s *CSVSink) header(r ScenarioResult) error {
 	if len(s.metricNames) == 0 {
 		s.metricNames = append(s.metricNames, r.MetricNames...)
 	}
-	row := []string{"index", "scenario", "topology", "router", "load", "failed_link"}
+	row := []string{"index", "scenario", "topology", "router", "load", "step", "failed_link"}
 	row = append(row, s.metricNames...)
 	row = append(row, "runtime_ms", "error")
 	s.wroteHeader = true
@@ -184,6 +186,7 @@ func (s *CSVSink) Write(r ScenarioResult) error {
 		r.Topology,
 		r.Router,
 		strconv.FormatFloat(r.Load, 'g', -1, 64),
+		r.Step,
 		r.FailedLink,
 	}
 	for _, name := range s.metricNames {

@@ -85,7 +85,7 @@ func TestCSVSink(t *testing.T) {
 	if len(lines) != 3 {
 		t.Fatalf("%d CSV lines, want header + 2 rows", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "index,scenario,topology,router,load,failed_link,mlu,utility,mm1_delay,max_stretch,runtime_ms") {
+	if !strings.HasPrefix(lines[0], "index,scenario,topology,router,load,step,failed_link,mlu,utility,mm1_delay,max_stretch,runtime_ms") {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "-inf") || !strings.Contains(lines[1], "+inf") || !strings.Contains(lines[1], "nan") {

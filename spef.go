@@ -125,6 +125,51 @@ func HierarchicalNetwork(seed int64, nodes, clusters, directedLinks int) (*Netwo
 	return &Network{g: g}, nil
 }
 
+// WaxmanNetwork generates a connected Waxman random geometric network:
+// nodes uniform in the unit square, pairs linked with probability
+// alpha * exp(-d / (beta * L)) where L is the maximum pairwise
+// distance. Unit capacities; seeded and deterministic.
+func WaxmanNetwork(seed int64, nodes int, alpha, beta float64) (*Network, error) {
+	g, err := topo.Waxman(seed, nodes, alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// BarabasiAlbertNetwork generates a connected scale-free network by
+// preferential attachment: every new node links to m distinct existing
+// nodes chosen proportionally to degree. Unit capacities; seeded and
+// deterministic.
+func BarabasiAlbertNetwork(seed int64, nodes, m int) (*Network, error) {
+	g, err := topo.BarabasiAlbert(seed, nodes, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// FatTreeNetwork generates the canonical k-ary fat-tree data-center
+// fabric (k even): (k/2)^2 core switches, k pods of k/2 aggregation
+// and k/2 edge switches, all links unit-capacity duplex pairs.
+func FatTreeNetwork(k int) (*Network, error) {
+	g, err := topo.FatTree(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
+// GridNetwork generates a rows x cols lattice with unit-capacity
+// duplex links between neighbors; wrap closes it into a torus.
+func GridNetwork(rows, cols int, wrap bool) (*Network, error) {
+	g, err := topo.GridNet(rows, cols, wrap)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{g: g}, nil
+}
+
 // Demands is a traffic matrix over a network's nodes.
 type Demands struct {
 	m *traffic.Matrix

@@ -22,7 +22,10 @@ type Suite struct {
 	// "rand:n=50,links=242,seed=1", ...).
 	Topologies []string `json:"topologies"`
 	// Demands optionally overrides every topology's canonical demands
-	// with a demand-generator spec ("ft:seed=7", "gravity", "uniform").
+	// with a demand-generator spec ("ft:seed=7", "gravity", "uniform")
+	// or a temporal demand-sequence spec ("gravity-diurnal:steps=24",
+	// "ft-diurnal") — the latter expands every topology into a
+	// load-over-time axis (one cell per step; see Grid.Scenarios).
 	// Empty keeps each topology's registry default.
 	Demands string `json:"demands,omitempty"`
 	// Loads, Betas and SingleLinkFailures are the Grid axes.
@@ -78,24 +81,33 @@ func (s *Suite) Grid() (Grid, error) {
 		// built-ins attached either way; the override still applies).
 		t, err := resolveTopology(spec, s.Demands == "")
 		if err != nil {
-			return Grid{}, err
+			return Grid{}, fmt.Errorf("suite topology %q: %w", spec, err)
 		}
 		if s.Demands != "" {
-			d, err := ResolveDemands(s.Demands, t.Network)
+			steps, isSeq, err := ResolveDemandSequence(s.Demands, t.Network)
 			if err != nil {
-				return Grid{}, err
+				return Grid{}, fmt.Errorf("suite demands %q: %w", s.Demands, err)
 			}
-			if d == nil {
-				return Grid{}, fmt.Errorf("%w: suite demand spec %q resolves to no demands", ErrBadInput, s.Demands)
+			if isSeq {
+				t.Steps = steps
+				t.Demands = nil
+			} else {
+				d, err := ResolveDemands(s.Demands, t.Network)
+				if err != nil {
+					return Grid{}, fmt.Errorf("suite demands %q: %w", s.Demands, err)
+				}
+				if d == nil {
+					return Grid{}, fmt.Errorf("%w: suite demand spec %q resolves to no demands", ErrBadInput, s.Demands)
+				}
+				t.Demands = d
 			}
-			t.Demands = d
 		}
 		grid.Topologies = append(grid.Topologies, t)
 	}
 	for _, spec := range s.Routers {
 		r, err := ResolveRouter(spec, s.MaxIterations)
 		if err != nil {
-			return Grid{}, err
+			return Grid{}, fmt.Errorf("suite router %q: %w", spec, err)
 		}
 		grid.Routers = append(grid.Routers, r)
 	}
@@ -203,5 +215,6 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 	case "optimal":
 		return Optimal(opts...), nil
 	}
-	return nil, fmt.Errorf("%w: unknown router %q (known: spef, invcap, ospf, peft, optimal)", ErrBadInput, spec)
+	return nil, fmt.Errorf("%w: unknown router %q%s (known: spef, invcap, ospf, peft, optimal)",
+		ErrBadInput, spec, suggest(name, []string{"spef", "invcap", "ospf", "peft", "optimal"}))
 }

@@ -1,0 +1,134 @@
+package spef
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+func temporalTopology(t *testing.T) Topology {
+	t.Helper()
+	n, err := RandomNetwork(5, 12, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, ok, err := ResolveDemandSequence("ft-diurnal:steps=4,peak=1,trough=0.5,seed=9", n)
+	if err != nil || !ok {
+		t.Fatalf("sequence: ok=%v err=%v", ok, err)
+	}
+	return Topology{Name: "temporal", Network: n, Steps: steps}
+}
+
+func TestGridTimeAxisExpansion(t *testing.T) {
+	topo := temporalTopology(t)
+	grid := Grid{
+		Topologies: []Topology{topo},
+		Loads:      []float64{0.2, 0.4},
+		Routers:    []Router{OSPF(nil)},
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*4 {
+		t.Fatalf("%d cells, want loads x steps = 8", len(cells))
+	}
+	// The load anchors the sequence's peak step; off-peak steps keep
+	// their relative depth (trough/peak = 0.5).
+	byKey := map[string]Scenario{}
+	for _, c := range cells {
+		byKey[c.Name] = c
+		if c.Step == "" {
+			t.Errorf("cell %s missing step label", c.Name)
+		}
+		if !strings.Contains(c.Name, "/t="+c.Step+"/") {
+			t.Errorf("cell name %q does not embed step %q", c.Name, c.Step)
+		}
+	}
+	peak := byKey["temporal/load=0.2/t=t02/InvCap-OSPF"]
+	trough := byKey["temporal/load=0.2/t=t00/InvCap-OSPF"]
+	if peak.Network == nil || trough.Network == nil {
+		t.Fatalf("expected cells missing; have %v", keysOf(byKey))
+	}
+	if got := peak.Demands.NetworkLoad(topo.Network); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("peak step load = %v, want the requested 0.2", got)
+	}
+	if got := trough.Demands.NetworkLoad(topo.Network); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("trough step load = %v, want 0.5 x 0.2", got)
+	}
+}
+
+func keysOf(m map[string]Scenario) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestGridTimeAxisNoLoads: without a Loads axis the sequence runs at
+// its native scale.
+func TestGridTimeAxisNoLoads(t *testing.T) {
+	topo := temporalTopology(t)
+	grid := Grid{Topologies: []Topology{topo}, Routers: []Router{OSPF(nil)}}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4 steps", len(cells))
+	}
+	for i, c := range cells {
+		want := topo.Steps[i].Demands.Total()
+		if got := c.Demands.Total(); got != want {
+			t.Errorf("step %d total = %v, want native %v", i, got, want)
+		}
+	}
+}
+
+// TestReuseWeightsSpansTimeAxis: with ReuseWeights on, a temporal
+// group optimizes once (at the first step) and re-simulates those
+// weights across every step — the deployed-weights-over-a-day
+// question. The per-step results must be deterministic for any worker
+// count, and the reference step's result must match a fixed-weight
+// re-simulation rather than a per-step re-optimization.
+func TestReuseWeightsSpansTimeAxis(t *testing.T) {
+	topo := temporalTopology(t)
+	grid := Grid{
+		Topologies: []Topology{topo},
+		Loads:      []float64{0.3},
+		Routers:    []Router{SPEF(WithMaxIterations(30))},
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := RunScenarios(context.Background(), cells, RunOptions{ReuseWeights: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunScenarios(context.Background(), cells, RunOptions{ReuseWeights: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reused {
+		if reused[i].Err != nil {
+			t.Fatalf("cell %s: %v", reused[i].Scenario, reused[i].Err)
+		}
+		if reused[i].MLU() != again[i].MLU() {
+			t.Errorf("cell %s: MLU differs across worker counts: %v vs %v",
+				reused[i].Scenario, reused[i].MLU(), again[i].MLU())
+		}
+	}
+	// Without reuse, every step re-optimizes; the off-peak steps may
+	// then differ from the reused run (they see different weights).
+	// The reference step (first cell) must be identical either way.
+	fresh, err := RunScenarios(context.Background(), cells, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused[0].MLU() != fresh[0].MLU() {
+		t.Errorf("reference step MLU %v != per-step optimization %v", reused[0].MLU(), fresh[0].MLU())
+	}
+}

@@ -9,11 +9,12 @@ import (
 // weightCache backs RunOptions.ReuseWeights: one entry per (topology,
 // failed link, router name) group of cells. The entry's reference cell
 // — the group's lowest-index cell, which under Grid expansion is the
-// first load factor — is optimized exactly once (sync.Once, so
-// concurrent workers wait rather than duplicate the work), the
-// optimized weights are extracted into a fixed-weight router, and every
-// cell of the group (the reference included) re-simulates that router
-// against its own load-scaled demands. Keying the reference by index
+// first load factor and, for temporal sequences, the first demand step
+// — is optimized exactly once (sync.Once, so concurrent workers wait
+// rather than duplicate the work), the optimized weights are extracted
+// into a fixed-weight router, and every cell of the group (the
+// reference included) re-simulates that router against its own
+// load-scaled, step-specific demands. Keying the reference by index
 // keeps the cached weights — and therefore every result — independent
 // of worker count and completion order.
 type weightCache struct {
@@ -32,8 +33,8 @@ type weightEntry struct {
 
 // weightKey groups cells that share optimized weights: same topology,
 // same failure variant, same (fully parameterized) router name. Load
-// does not participate — reusing weights across the load axis is the
-// cache's whole point.
+// and demand step do not participate — reusing weights across the load
+// and time axes is the cache's whole point.
 func weightKey(s Scenario) string {
 	return s.Topology + "\x1f" + s.FailedLink + "\x1f" + s.Router.Name()
 }
