@@ -205,6 +205,25 @@ var routerDocs = []SpecDoc{
 			{Name: "iters", Default: "auto", Doc: "Frank-Wolfe iteration budget"},
 		},
 	},
+	{
+		Name:    "ospf-ls",
+		Summary: "Fortz-Thorup local search over OSPF link weights (incremental re-evaluation, InvCap start).",
+		Params: []ParamDoc{
+			{Name: "iters", Default: "2000", Doc: "candidate-evaluation budget"},
+			{Name: "wmax", Default: "20", Doc: "largest integer weight"},
+			{Name: "seed", Default: "0", Doc: "neighborhood sampling seed"},
+		},
+	},
+	{
+		Name:    "ospf-ls-robust",
+		Summary: "Failure-aware local search: candidates scored against every single-link-failure variant.",
+		Params: []ParamDoc{
+			{Name: "iters", Default: "2000", Doc: "candidate-evaluation budget"},
+			{Name: "wmax", Default: "20", Doc: "largest integer weight"},
+			{Name: "seed", Default: "0", Doc: "neighborhood sampling seed"},
+			{Name: "rho", Default: "1", Doc: "weight of the mean failure-variant cost in the score"},
+		},
+	},
 }
 
 var metricDocs = []SpecDoc{
@@ -214,6 +233,8 @@ var metricDocs = []SpecDoc{
 	{Name: MetricP95Utilization, Summary: "95th-percentile link utilization (any \"p<n>_util\" percentile resolves)."},
 	{Name: MetricMM1Delay, Summary: "Total M/M/1 queueing delay sum f/(c-f); +inf once a link saturates."},
 	{Name: MetricMaxStretch, Summary: "Maximum volume-weighted path stretch over destinations (1.0 = hop-shortest)."},
+	{Name: MetricFortz, Summary: "Total Fortz-Thorup piecewise-linear congestion cost (the ospf-ls objective)."},
+	{Name: MetricFortzNorm, Summary: "Fortz-Thorup cost normalized by uncapacitated hop-shortest routing (Phi*; 1.0 = uncongested optimum)."},
 }
 
 // Catalog is the full registry inventory: every named topology, every

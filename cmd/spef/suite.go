@@ -23,7 +23,7 @@ func suiteMain(args []string) error {
 		demands    = fs.String("demands", "", "demand spec overriding topology defaults: a generator (ft:seed=N, gravity, uniform) or a temporal sequence expanding a time axis (gravity-diurnal:steps=24, ft-diurnal)")
 		loads      = fs.String("loads", "", "comma-separated network loads")
 		betas      = fs.String("betas", "", "comma-separated beta values for beta-configurable routers")
-		routers    = fs.String("routers", "", "comma-separated router specs (spef, invcap, peft, optimal, spef:iters=N)")
+		routers    = fs.String("routers", "", "comma-separated router specs (spef, invcap, peft, optimal, ospf-ls, ospf-ls-robust, spef:iters=N, ospf-ls:iters=N,seed=S; see `spef catalog`)")
 		metrics    = fs.String("metrics", "", "comma-separated metric names (default: mlu,utility,mean_util,p95_util,mm1_delay,max_stretch)")
 		failures   = fs.Bool("failures", false, "add single-link-failure variants of every topology")
 		iters      = fs.Int("iters", 0, "Algorithm 1 iteration budget for optimizing routers (0 = automatic)")

@@ -24,9 +24,12 @@
 //
 // Every routing scheme the paper compares — SPEF, ECMP-OSPF, downward
 // PEFT, and the optimal-TE reference — is also available behind the
-// uniform Router interface, and the Scenario engine sweeps grids of
-// topology x load x beta x router (including generated single-link-
-// failure variants) concurrently:
+// uniform Router interface, joined by OSPFLocalSearch: Fortz-Thorup
+// local search over integer OSPF weights (specs "ospf-ls" and the
+// failure-aware "ospf-ls-robust"), the optimized-OSPF baseline the
+// paper's "one more weight" claim is honestly measured against. The
+// Scenario engine sweeps grids of topology x load x beta x router
+// (including generated single-link-failure variants) concurrently:
 //
 //	grid := spef.Grid{
 //		Topologies: []spef.Topology{{Name: "Abilene", Network: n, Demands: d}},

@@ -21,6 +21,7 @@ import (
 	spef "repro"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/localsearch"
 	"repro/internal/objective"
 	"repro/internal/par"
 	"repro/internal/topo"
@@ -320,6 +321,46 @@ func kernelSuite(in *instance, budget time.Duration) ([]Kernel, error) {
 			}),
 	}
 
+	// One local-search weight perturbation: full re-evaluation of every
+	// destination against the incremental path, which re-routes only the
+	// destinations the change can affect and keeps the rest bit-for-bit
+	// (see internal/localsearch). Both paths are single-threaded, so the
+	// speedup is machine-portable and gated by Check. The two closures
+	// walk the same deterministic (link, weight) cycle.
+	lsw := make([]float64, g.NumLinks())
+	for i := range lsw {
+		lsw[i] = 1
+	}
+	evFull, err := localsearch.NewEvaluator(g, in.tm, lsw, 0)
+	if err != nil {
+		return nil, err
+	}
+	evInc, err := localsearch.NewEvaluator(g, in.tm, lsw, 0)
+	if err != nil {
+		return nil, err
+	}
+	wFull := append([]float64(nil), lsw...)
+	lsStep := func(step int) (link int, weight float64) {
+		return step * 7 % g.NumLinks(), float64(1 + step%19)
+	}
+	var stepFull, stepInc int
+	out = append(out, kernel("lsweightchange", "full-reeval", "incremental", true,
+		func() {
+			e, wv := lsStep(stepFull)
+			stepFull++
+			wFull[e] = wv
+			if err := evFull.Reevaluate(wFull); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			e, wv := lsStep(stepInc)
+			stepInc++
+			if err := evInc.SetWeight(e, wv); err != nil {
+				panic(err)
+			}
+		}))
+
 	// Full Algorithm 3 over every destination: the legacy sequential
 	// loop against the workspace + parallel fan-out.
 	// Not machine-portable: the fast path fans out over the parallel
@@ -393,6 +434,37 @@ func parityChecks(in *instance) ([]Parity, error) {
 		Name:         in.name + "/parallel-vs-sequential",
 		Detail:       "Algorithm 3 per-link flow, 8 extra workers vs forced sequential",
 		BitIdentical: same,
+	})
+
+	// Local search: a long incremental perturbation sequence must leave
+	// the evaluator bit-identical — weights, DAGs, splits, flows, totals
+	// and cost — to a fresh full evaluation of the final weight vector.
+	lsw := make([]float64, g.NumLinks())
+	for i := range lsw {
+		lsw[i] = 1
+	}
+	inc, err := localsearch.NewEvaluator(g, in.tm, lsw, 0)
+	if err != nil {
+		return nil, err
+	}
+	for step := 0; step < 64; step++ {
+		if err := inc.SetWeight(step*7%g.NumLinks(), float64(1+step%19)); err != nil {
+			return nil, err
+		}
+	}
+	full, err := localsearch.NewEvaluator(g, in.tm, inc.Weights(), 0)
+	if err != nil {
+		return nil, err
+	}
+	parityErr := inc.Equal(full)
+	detail := "localsearch evaluator state after 64 incremental weight changes vs full re-evaluation"
+	if parityErr != nil {
+		detail += ": " + parityErr.Error()
+	}
+	out = append(out, Parity{
+		Name:         in.name + "/ls-incremental-vs-full",
+		Detail:       detail,
+		BitIdentical: parityErr == nil,
 	})
 	return out, nil
 }

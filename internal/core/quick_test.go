@@ -47,11 +47,11 @@ func TestSPEFPipelinePropertiesQuick(t *testing.T) {
 		obj := objective.MustQBeta(1, g.NumLinks(), nil)
 		p, err := Build(t.Context(), g, tm, obj, Options{First: FirstWeightOptions{MaxIters: 600}})
 		if err != nil {
-			return fmt.Errorf("Build: %w", err)
+			return fmt.Errorf("build: %w", err)
 		}
 		flow, err := p.Flow(tm)
 		if err != nil {
-			return fmt.Errorf("Flow: %w", err)
+			return fmt.Errorf("flow: %w", err)
 		}
 		// Conservation.
 		if err := flow.CheckConservation(g, tm, 1e-6); err != nil {

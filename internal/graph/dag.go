@@ -79,6 +79,13 @@ func dagEps(tol float64) float64 {
 	return tol
 }
 
+// EffectiveDAGTol returns the equal-cost slack BuildDAG actually applies
+// for a requested tolerance: tol itself, widened to the floating-point
+// slack used for exact shortest paths when tol is 0. Incremental
+// consumers (internal/localsearch) apply the same slack when deciding
+// whether a weight change can alter a DAG's membership.
+func EffectiveDAGTol(tol float64) float64 { return dagEps(tol) }
+
 // BuildDAG computes the shortest-path DAG toward dst under the given
 // weights with the given equal-cost tolerance (tol >= 0; 0 keeps exact
 // shortest paths only, up to floating-point slack of 1e-12). It

@@ -159,6 +159,27 @@ func (d *DAG) Clone() *DAG {
 	return c
 }
 
+// CopyFrom deep-copies src into d, reusing d's existing storage: the
+// distance buffer, each node's adjacency slice, and the cached node
+// order all retain their capacity. This is the retaining form of Clone
+// for callers that keep one long-lived DAG per destination and refill
+// it after every rebuild (the incremental local-search state) — in
+// steady state the copy allocates nothing.
+func (d *DAG) CopyFrom(src *DAG) {
+	n := len(src.Out)
+	d.reset(n)
+	d.Dst = src.Dst
+	d.Tol = src.Tol
+	d.Dist = append(d.Dist[:0], src.Dist...)
+	for u := 0; u < n; u++ {
+		d.Out[u] = append(d.Out[u][:0], src.Out[u]...)
+		d.In[u] = append(d.In[u][:0], src.In[u]...)
+	}
+	// Force the source's order cache so the copy never recomputes (a
+	// lazily-computed order on a refilled arena would go stale).
+	d.order = append(d.order[:0], src.NodesDescending()...)
+}
+
 // WorkspacePool is a concurrency-safe free list of workspaces. Workers
 // of the parallel per-destination and scenario loops Get a private
 // workspace, run their kernels allocation-free, and Put it back; the

@@ -265,3 +265,47 @@ func TestWorkspacePoolRefit(t *testing.T) {
 		pool.Put(ws)
 	}
 }
+
+// TestDAGCopyFrom: the storage-reusing copy must reproduce the source
+// exactly — including the cached processing order, which must never go
+// stale when the same destination arena is refilled with a different
+// DAG (the incremental local-search usage pattern).
+func TestDAGCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var arena DAG
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(14)
+		g, w := randomGraph(rng, n, n+rng.Intn(3*n))
+		src, err := BuildDAG(g, w, rng.Intn(n), 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		arena.CopyFrom(src)
+		if arena.Dst != src.Dst || arena.Tol != src.Tol {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+		for u := range src.Dist {
+			if arena.Dist[u] != src.Dist[u] {
+				t.Fatalf("trial %d: dist[%d] %v != %v", trial, u, arena.Dist[u], src.Dist[u])
+			}
+			if len(arena.Out[u]) != len(src.Out[u]) || len(arena.In[u]) != len(src.In[u]) {
+				t.Fatalf("trial %d: adjacency size mismatch at node %d", trial, u)
+			}
+			for k := range src.Out[u] {
+				if arena.Out[u][k] != src.Out[u][k] {
+					t.Fatalf("trial %d: Out[%d][%d] mismatch", trial, u, k)
+				}
+			}
+		}
+		want := src.NodesDescending()
+		got := arena.NodesDescending()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: order length %d != %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order[%d] %d != %d (stale cached order?)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

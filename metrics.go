@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/objective"
 )
 
 // Metric computes one named figure of merit for a completed scenario
@@ -36,6 +37,8 @@ const (
 	MetricP95Utilization  = "p95_util"
 	MetricMM1Delay        = "mm1_delay"
 	MetricMaxStretch      = "max_stretch"
+	MetricFortz           = "fortz"
+	MetricFortzNorm       = "fortz_norm"
 )
 
 // funcMetric adapts a function to the Metric interface.
@@ -123,6 +126,61 @@ func MM1DelayMetric() Metric {
 	}}
 }
 
+// FortzCostMetric returns the total Fortz-Thorup congestion cost: the
+// sum over links of the piecewise-linear cost Phi of the link's flow
+// (objective.FortzThorup, the linearized M/M/1 curve of INFOCOM'00) —
+// the objective the ospf-ls local-search routers minimize, so grid
+// comparisons can score every scheme by the weight optimizer's own
+// yardstick.
+func FortzCostMetric() Metric {
+	return funcMetric{name: MetricFortz, fn: func(routes *Routes, _ *Demands, report *TrafficReport) (float64, error) {
+		return objective.TotalCost(objective.FortzThorup{}, routes.net.g, report.LinkFlow), nil
+	}}
+}
+
+// NormalizedFortzCostMetric returns the Fortz-Thorup cost scaled by the
+// uncapacitated optimum: the total cost divided by the cost of sending
+// every demand along hop-count shortest paths over uncongested links
+// (slope 1), i.e. sum D(s,t)*minhops(s,t). This is the Phi* presentation
+// of Fortz and Thorup's papers — 1.0 means all traffic rides
+// hop-shortest paths below a third utilization, values approaching
+// 10 2/3 mark the onset of overload — and is comparable across loads
+// and topologies where the raw cost is not. +Inf when a positive demand
+// has no path; 0 when there is no demand at all.
+func NormalizedFortzCostMetric() Metric {
+	return funcMetric{name: MetricFortzNorm, fn: func(routes *Routes, d *Demands, report *TrafficReport) (float64, error) {
+		g := routes.net.g
+		cost := objective.TotalCost(objective.FortzThorup{}, g, report.LinkFlow)
+		unit := make([]float64, g.NumLinks())
+		for i := range unit {
+			unit[i] = 1
+		}
+		ws := workspaces.Get(g)
+		defer workspaces.Put(ws)
+		var uncap float64
+		for _, t := range d.m.Destinations() {
+			sp, err := ws.DijkstraTo(g, unit, t)
+			if err != nil {
+				return 0, err
+			}
+			for s := 0; s < g.NumNodes(); s++ {
+				v := d.At(s, t)
+				if v <= 0 {
+					continue
+				}
+				if sp.Dist[s] == graph.Unreachable {
+					return math.Inf(1), nil
+				}
+				uncap += v * sp.Dist[s]
+			}
+		}
+		if uncap == 0 {
+			return 0, nil
+		}
+		return cost / uncap, nil
+	}}
+}
+
 // MaxStretchMetric returns the maximum path stretch over destinations:
 // for each destination, the volume-weighted mean hop count the routes
 // actually traverse divided by the demand-weighted shortest-path hop
@@ -193,9 +251,9 @@ func DefaultMetrics() []Metric {
 }
 
 // MetricsByName resolves metric names ("mlu", "utility", "mean_util",
-// "p95_util", "mm1_delay", "max_stretch", and "p<n>_util" for any
-// percentile) into Metric values — the string form Suite specs and
-// command-line flags use.
+// "p95_util", "mm1_delay", "max_stretch", "fortz", "fortz_norm", and
+// "p<n>_util" for any percentile) into Metric values — the string form
+// Suite specs and command-line flags use.
 func MetricsByName(names ...string) ([]Metric, error) {
 	out := make([]Metric, 0, len(names))
 	for _, name := range names {
@@ -220,6 +278,10 @@ func metricByName(name string) (Metric, error) {
 		return MM1DelayMetric(), nil
 	case MetricMaxStretch:
 		return MaxStretchMetric(), nil
+	case MetricFortz:
+		return FortzCostMetric(), nil
+	case MetricFortzNorm:
+		return NormalizedFortzCostMetric(), nil
 	}
 	if rest, ok := strings.CutPrefix(name, "p"); ok {
 		if pct, ok := strings.CutSuffix(rest, "_util"); ok {

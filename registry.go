@@ -536,8 +536,12 @@ func parseSpec(spec string) (string, map[string]string, error) {
 	return name, params, nil
 }
 
-// onlyParams rejects unknown spec parameters so typos fail loudly.
+// onlyParams rejects unknown spec parameters so typos fail loudly,
+// with a did-you-mean hint when the key is a small edit away from an
+// allowed one ("ospf-ls:iter=..." suggests iters). Keys are reported in
+// sorted order so the error is deterministic for multi-typo specs.
 func onlyParams(spec string, params map[string]string, allowed ...string) error {
+	var unknown []string
 	for k := range params {
 		found := false
 		for _, a := range allowed {
@@ -547,10 +551,19 @@ func onlyParams(spec string, params map[string]string, allowed ...string) error 
 			}
 		}
 		if !found {
-			return fmt.Errorf("%w: unknown parameter %q in spec %q (allowed: %v)", ErrBadInput, k, spec, allowed)
+			unknown = append(unknown, k)
 		}
 	}
-	return nil
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	k := unknown[0]
+	if len(allowed) == 0 {
+		return fmt.Errorf("%w: spec %q takes no parameters (got %q)", ErrBadInput, spec, k)
+	}
+	return fmt.Errorf("%w: unknown parameter %q in spec %q%s (allowed: %s)",
+		ErrBadInput, k, spec, suggest(k, allowed), strings.Join(allowed, ", "))
 }
 
 // genParams reads the shared generator parameters (seed, n, links).

@@ -33,13 +33,17 @@ type Suite struct {
 	Betas              []float64 `json:"betas,omitempty"`
 	SingleLinkFailures bool      `json:"single_link_failures,omitempty"`
 	// Routers lists router specs: "spef", "invcap" (or "ospf"),
-	// "peft", "optimal", "spef:iters=N", "peft:iters=N".
+	// "peft", "optimal", "ospf-ls", "ospf-ls-robust", each optionally
+	// parameterized ("spef:iters=N", "ospf-ls:iters=N,seed=S,wmax=W",
+	// "ospf-ls-robust:rho=R"); see ResolveRouter and `spef catalog`.
 	Routers []string `json:"routers"`
 	// Metrics lists metric names (see MetricsByName); empty selects
 	// DefaultMetrics.
 	Metrics []string `json:"metrics,omitempty"`
-	// MaxIterations bounds every optimizing router's Algorithm 1 budget
-	// (0 keeps the pipeline's automatic budget); per-router iters=N
+	// MaxIterations bounds every optimizing router's iteration budget —
+	// Algorithm 1 iterations for spef/peft, Frank-Wolfe iterations for
+	// optimal, local-search candidate evaluations for ospf-ls — (0
+	// keeps each router's automatic budget); per-router iters=N
 	// parameters override it.
 	MaxIterations int `json:"max_iterations,omitempty"`
 	// Workers bounds concurrent cells (0 selects GOMAXPROCS).
@@ -186,35 +190,86 @@ func (s *Suite) MetricNames() ([]string, error) {
 }
 
 // ResolveRouter resolves a router spec ("spef", "invcap"/"ospf",
-// "peft", "optimal", optionally with iters=N) into a Router.
-// defaultIters bounds optimizing routers' Algorithm 1 budget when the
-// spec carries no iters parameter (0 keeps the automatic budget).
+// "peft", "optimal", "ospf-ls", "ospf-ls-robust", optionally with
+// parameters — see the Routers section of `spef catalog`) into a
+// Router. defaultIters bounds optimizing routers' iteration budget —
+// Algorithm 1 iterations for spef/peft, Frank-Wolfe iterations for
+// optimal, candidate evaluations for the local-search routers — when
+// the spec carries no iters parameter (0 keeps each router's automatic
+// budget). Unknown parameter keys fail loudly, with a did-you-mean
+// hint for near-misses ("ospf-ls:iter=..." suggests iters).
 func ResolveRouter(spec string, defaultIters int) (Router, error) {
 	name, params, err := parseSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	if err := onlyParams(spec, params, "iters"); err != nil {
-		return nil, err
+	name = strings.ToLower(name)
+	resolveIters := func(allowed ...string) (int64, error) {
+		if err := onlyParams(spec, params, append([]string{"iters"}, allowed...)...); err != nil {
+			return 0, err
+		}
+		return intParam(params, "iters", int64(defaultIters))
 	}
-	iters, err := intParam(params, "iters", int64(defaultIters))
-	if err != nil {
-		return nil, err
-	}
-	var opts []Option
-	if iters > 0 {
-		opts = append(opts, WithMaxIterations(int(iters)))
-	}
-	switch strings.ToLower(name) {
-	case "spef":
-		return SPEF(opts...), nil
+	switch name {
+	case "spef", "peft", "optimal":
+		iters, err := resolveIters()
+		if err != nil {
+			return nil, err
+		}
+		var opts []Option
+		if iters > 0 {
+			opts = append(opts, WithMaxIterations(int(iters)))
+		}
+		switch name {
+		case "spef":
+			return SPEF(opts...), nil
+		case "peft":
+			return PEFT(nil, opts...), nil
+		default:
+			return Optimal(opts...), nil
+		}
 	case "invcap", "ospf":
+		if err := onlyParams(spec, params); err != nil {
+			return nil, err
+		}
 		return OSPF(nil), nil
-	case "peft":
-		return PEFT(nil, opts...), nil
-	case "optimal":
-		return Optimal(opts...), nil
+	case "ospf-ls", "ospf-ls-robust":
+		robust := name == "ospf-ls-robust"
+		allowed := []string{"seed", "wmax"}
+		if robust {
+			allowed = append(allowed, "rho")
+		}
+		iters, err := resolveIters(allowed...)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := intParam(params, "seed", 0)
+		if err != nil {
+			return nil, err
+		}
+		wmax, err := intParam(params, "wmax", 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, set := params["wmax"]; set && wmax < 1 {
+			return nil, fmt.Errorf("%w: spec %q: wmax=%d must be >= 1", ErrBadInput, spec, wmax)
+		}
+		rho, err := floatParam(params, "rho", 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, set := params["rho"]; set && rho <= 0 {
+			return nil, fmt.Errorf("%w: spec %q: rho=%v must be positive", ErrBadInput, spec, rho)
+		}
+		return OSPFLocalSearch(LocalSearchOptions{
+			MaxEvals:       int(iters),
+			WeightMax:      int(wmax),
+			Seed:           seed,
+			Robust:         robust,
+			FailurePenalty: rho,
+		}), nil
 	}
-	return nil, fmt.Errorf("%w: unknown router %q%s (known: spef, invcap, ospf, peft, optimal)",
-		ErrBadInput, spec, suggest(name, []string{"spef", "invcap", "ospf", "peft", "optimal"}))
+	known := append(docNames(routerDocs), "ospf")
+	return nil, fmt.Errorf("%w: unknown router %q%s (known: %s)",
+		ErrBadInput, spec, suggest(name, known), strings.Join(specNames(routerDocs), ", "))
 }
