@@ -5,6 +5,7 @@
 //	spef [-quick] all
 //	spef suite -spec FILE [-format table|jsonl|csv] [-o FILE] [-stream]
 //	spef suite -topologies abilene -loads 0.12,0.14 -routers invcap,spef ...
+//	spef serve [-addr HOST:PORT] [-load SPEC,...]
 //	spef catalog [-markdown]
 //
 // Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
@@ -80,6 +81,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "catalog" {
 		if err := catalogMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "spef catalog:", err)
@@ -135,5 +143,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef serve [-addr HOST:PORT] [-load SPEC,...]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
 }

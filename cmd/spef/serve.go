@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/serve"
+)
+
+// serveMain runs the TE control-plane daemon: per-topology warm delta
+// engines behind an HTTP/JSON API (see internal/serve and the
+// "Control plane" section of DESIGN.md). It serves until SIGINT or
+// SIGTERM, then shuts down gracefully.
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7117", "listen address (host:port; :0 picks a free port)")
+	load := fs.String("load", "", "comma-separated topology specs to load at startup (e.g. abilene,geant)")
+	quiet := fs.Bool("q", false, "suppress per-request logging")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: spef serve [-addr HOST:PORT] [-load SPEC,...] [-q]
+
+Endpoints:
+  GET    /healthz                         liveness + loaded-topology count
+  GET    /statz                           per-event-type counts, p50/p99 latency, arena bytes
+  GET    /v1/topologies                   list loaded topologies
+  POST   /v1/topologies                   load {"topology":"abilene","demands":"...","weights":"invcap|unit","name":"..."}
+  GET    /v1/topologies/{name}/metrics    current mlu/fortz/utility, down links
+  POST   /v1/topologies/{name}/events     apply {"events":[{"type":"set-weight|link-down|link-up|set-demand",...}]}
+  POST   /v1/topologies/{name}/whatif     score one event without committing it
+  POST   /v1/topologies/{name}/replay     replay {"sequence":"gravity-diurnal:steps=24"} as a live feed
+  DELETE /v1/topologies/{name}            unload
+
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	opts := serve.Options{}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	s := serve.New(opts)
+	if *load != "" {
+		if err := preload(s, *load); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ready := make(chan net.Addr, 1)
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe(ctx, *addr, ready) }()
+	select {
+	case a := <-ready:
+		fmt.Fprintf(os.Stderr, "spef serve: listening on http://%s\n", a)
+	case err := <-errc:
+		return err
+	}
+	err := <-errc
+	if err == nil {
+		fmt.Fprintln(os.Stderr, "spef serve: shut down cleanly")
+	}
+	return err
+}
+
+// preload loads startup topologies through the same path the HTTP API
+// uses, so -load accepts any registry spec.
+func preload(s *serve.Server, specs string) error {
+	for _, spec := range splitList(specs) {
+		if err := s.Load(serve.LoadRequest{Topology: spec}); err != nil {
+			return fmt.Errorf("-load %q: %w", spec, err)
+		}
+	}
+	return nil
+}

@@ -4,7 +4,9 @@
 // against the workspace "reuse" implementations, and forced-sequential
 // against parallel per-destination evaluation — verifies that the fast
 // paths stay bit-identical to the slow ones (MLU parity, stream vs
-// batch), and serializes everything as a BENCH_*.json report. Committed
+// batch), measures the control-plane delta engine's per-event-type
+// latency and steady-state allocs/op (the servelatency surface behind
+// `spef serve`), and serializes everything as a BENCH_*.json report. Committed
 // baselines (BENCH_baseline.json) record the perf trajectory; Check
 // compares a fresh run against a baseline and fails on regression.
 package bench
@@ -89,6 +91,9 @@ type Report struct {
 	Quick     bool     `json:"quick"`
 	Kernels   []Kernel `json:"kernels"`
 	Parity    []Parity `json:"parity"`
+	// Serve records the control-plane daemon's per-event-type latency
+	// distribution and steady-state allocs/op (see ServeLatency).
+	Serve []ServeLatency `json:"serve,omitempty"`
 }
 
 // measure times fn over roughly the given wall-clock budget: one
@@ -254,6 +259,13 @@ func Run(opts Options) (*Report, error) {
 	rep.Parity = append(rep.Parity, pub...)
 	for _, p := range rep.Parity {
 		logf("parity %-32s bit-identical=%v (%s)", p.Name, p.BitIdentical, p.Detail)
+	}
+	if rep.Serve, err = serveLatency(opts.Quick); err != nil {
+		return nil, err
+	}
+	for _, s := range rep.Serve {
+		logf("serve  %-28s %6d events %10d ns p50 %10d ns p99 %8.1f allocs/op",
+			s.Name, s.Events, s.P50Ns, s.P99Ns, s.AllocsPerOp)
 	}
 	return rep, nil
 }
@@ -601,6 +613,34 @@ func Check(cur, base *Report, tol float64, absolute bool) error {
 		if absolute && k.Fast.NsPerOp > b.Fast.NsPerOp*(1+tol) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: %.0f ns/op regressed more than %.0f%% over baseline %.0f ns/op", k.Name, k.Fast.NsPerOp, tol*100, b.Fast.NsPerOp))
+		}
+	}
+	// Serve-latency gates: every baselined event type must still be
+	// measured (with events actually applied), steady-state allocs/op
+	// must not grow (machine-portable — the warm engine's zero/low-alloc
+	// property, not machine speed), and with absolute=true the raw p99
+	// must hold too.
+	curServe := make(map[string]ServeLatency, len(cur.Serve))
+	for _, s := range cur.Serve {
+		curServe[s.Name] = s
+	}
+	for _, b := range base.Serve {
+		s, ok := curServe[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("serve %s: baselined event type was not measured", b.Name))
+			continue
+		}
+		if s.Events <= 0 {
+			problems = append(problems, fmt.Sprintf("serve %s: no events applied", b.Name))
+			continue
+		}
+		if s.AllocsPerOp > b.AllocsPerOp+0.5 {
+			problems = append(problems, fmt.Sprintf(
+				"serve %s: allocs/op %.1f exceeds baseline %.1f", b.Name, s.AllocsPerOp, b.AllocsPerOp))
+		}
+		if absolute && b.P99Ns > 0 && s.P99Ns > int64(float64(b.P99Ns)*(1+tol)) {
+			problems = append(problems, fmt.Sprintf(
+				"serve %s: p99 %d ns regressed more than %.0f%% over baseline %d ns", b.Name, s.P99Ns, tol*100, b.P99Ns))
 		}
 	}
 	if len(problems) > 0 {

@@ -99,6 +99,46 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+func serveReport(events int, allocs float64, p99 int64) *Report {
+	r := kernelReport(4.0, 0, 1000)
+	r.Serve = []ServeLatency{{Name: "abilene/set-weight", Events: events, AllocsPerOp: allocs, P99Ns: p99}}
+	return r
+}
+
+func TestCheckServeLatencyGates(t *testing.T) {
+	base := serveReport(512, 0.1, 10_000)
+
+	if err := Check(serveReport(96, 0.1, 10_000), base, 0.20, false); err != nil {
+		t.Fatalf("matching serve entry failed the gate: %v", err)
+	}
+
+	missing := kernelReport(4.0, 0, 1000)
+	err := Check(missing, base, 0.20, false)
+	if err == nil || !strings.Contains(err.Error(), "not measured") {
+		t.Fatalf("Check = %v, want missing-entry failure", err)
+	}
+
+	err = Check(serveReport(0, 0.1, 10_000), base, 0.20, false)
+	if err == nil || !strings.Contains(err.Error(), "no events") {
+		t.Fatalf("Check = %v, want no-events failure", err)
+	}
+
+	err = Check(serveReport(512, 3, 10_000), base, 0.20, false)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("Check = %v, want serve alloc regression", err)
+	}
+
+	// p99 is machine-dependent: gated only under -abs.
+	slow := serveReport(512, 0.1, 50_000)
+	if err := Check(slow, base, 0.20, false); err != nil {
+		t.Fatalf("relative Check gated serve p99: %v", err)
+	}
+	err = Check(slow, base, 0.20, true)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Fatalf("absolute Check = %v, want serve p99 regression", err)
+	}
+}
+
 // TestHarnessQuickSmoke runs the real harness end to end in quick mode
 // when -short is not set, proving the measurement plumbing works and
 // every parity check holds.

@@ -1,0 +1,35 @@
+// Package delta is the incremental routing-state engine: it owns the
+// complete ECMP routing evaluation of one (topology, weights, demands)
+// triple — per-destination shortest-path DAGs, even split ratios,
+// per-destination link flows, the aggregate flow and its Fortz-Thorup
+// cost — and updates it in place under typed events instead of
+// recomputing from cold state:
+//
+//   - SetWeight re-routes only the destinations an exact screen over
+//     cached distances proves the change can affect (the machinery
+//     PR 5 built for local search, extracted here for general use);
+//   - SetDemand re-propagates a single destination's flow without
+//     touching any shortest-path state;
+//   - StepDemands advances to the next matrix of a temporal sequence,
+//     re-propagating only the destinations whose columns changed;
+//   - LinkDown/LinkUp remap the topology onto the surviving links (the
+//     scenario engine's failure-variant transform) and rebind the
+//     arenas in place, so a warm engine survives a failure event
+//     without reallocating its state;
+//   - the WhatIf queries score any of those events against the current
+//     state without committing it, bit-identical to applying the event.
+//
+// Every update is bit-identical to a from-scratch evaluation of the
+// resulting state — the oracle Evaluator.Equal checks and the property
+// tests enforce — which is what lets a long-running control plane
+// (internal/serve, `spef serve`) answer event streams from warm state
+// with the same numbers a batch run would produce.
+//
+// The split of responsibilities: Evaluator is the single-variant state
+// (one concrete graph, one weight vector, one demand matrix) with
+// incremental updates; Engine layers the intact-topology view on top
+// (intact link IDs, a down-link set, the remapping between the two)
+// and is what servers hold per topology. internal/localsearch's
+// Evaluator is an alias of this package's — the search trajectories
+// are bit-identical to the pre-extraction implementation.
+package delta

@@ -2,408 +2,32 @@ package localsearch
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
+	"repro/internal/delta"
 	"repro/internal/graph"
-	"repro/internal/objective"
 	"repro/internal/traffic"
 )
 
-// ErrBadInput reports inconsistent arguments.
+// ErrBadInput reports inconsistent search options. Evaluator errors
+// wrap delta.ErrBadInput instead — the incremental machinery lives in
+// internal/delta since the control-plane extraction; this package is a
+// thin client that layers the Fortz-Thorup search strategy on top.
 var ErrBadInput = errors.New("localsearch: bad input")
 
-// Evaluator holds the full ECMP routing evaluation of one weight vector
-// on one (graph, demand matrix) pair — per-destination shortest-path
-// DAGs, even split ratios, per-destination link flows, the aggregate
-// flow and its Fortz-Thorup cost — and updates it incrementally under
-// single-link weight changes: only destinations the change can affect
-// are re-routed, the rest keep their state bit-for-bit.
-//
-// An Evaluator is not safe for concurrent mutation, but TryWeight is a
-// pure read of the shared state given a private Scratch, which is what
-// lets Search score a whole candidate neighborhood in parallel against
-// one state.
-type Evaluator struct {
-	g     *graph.Graph
-	tm    *traffic.Matrix
-	tol   float64   // equal-cost tolerance handed to BuildDAG
-	eps   float64   // the effective slack BuildDAG applies for tol
-	caps  []float64 // per-link capacities, cached to keep cost sums alloc-free
-	w     []float64
-	dests []int
-
-	demands [][]float64  // demands[i][s]: volume at s toward dests[i]
-	dags    []*graph.DAG // owned per-destination arenas, refilled in place
-	splits  [][]float64  // per-destination even ECMP ratios
-	flows   [][]float64  // per-destination per-link flow
-	total   []float64    // aggregate flow, summed in destination order
-	cost    float64      // Fortz-Thorup cost of total
-
-	ws       *graph.Workspace
-	affected []int // scratch for SetWeight's affected-destination screen
-}
-
-// NewEvaluator fully evaluates the weight vector and returns the
-// resulting state. tol is the equal-cost tolerance of the shortest-path
-// DAGs (0 = exact, the OSPF router's configuration). Every positive
-// demand must be routable under the weights; an unreachable demand is
-// an error, mirroring the forwarding engine.
-func NewEvaluator(g *graph.Graph, tm *traffic.Matrix, weights []float64, tol float64) (*Evaluator, error) {
-	if tol < 0 {
-		return nil, fmt.Errorf("%w: negative tolerance %v", ErrBadInput, tol)
-	}
-	if g.NumLinks() == 0 {
-		return nil, fmt.Errorf("%w: graph has no links", ErrBadInput)
-	}
-	dests := tm.Destinations()
-	if len(dests) == 0 {
-		return nil, fmt.Errorf("%w: empty traffic matrix", ErrBadInput)
-	}
-	ev := &Evaluator{
-		g:     g,
-		tm:    tm,
-		tol:   tol,
-		eps:   graph.EffectiveDAGTol(tol),
-		dests: dests,
-		caps:  g.Capacities(),
-		w:     make([]float64, g.NumLinks()),
-		ws:    graph.NewWorkspace(g),
-		total: make([]float64, g.NumLinks()),
-	}
-	ev.demands = make([][]float64, len(dests))
-	ev.dags = make([]*graph.DAG, len(dests))
-	ev.splits = make([][]float64, len(dests))
-	ev.flows = make([][]float64, len(dests))
-	for i, t := range dests {
-		ev.demands[i] = tm.ToDestination(t)
-		ev.dags[i] = &graph.DAG{}
-		ev.splits[i] = make([]float64, g.NumLinks())
-		ev.flows[i] = make([]float64, g.NumLinks())
-	}
-	if err := ev.Reevaluate(weights); err != nil {
-		return nil, err
-	}
-	return ev, nil
-}
-
-// Cost returns the Fortz-Thorup cost of the current weight vector.
-func (ev *Evaluator) Cost() float64 { return ev.cost }
-
-// Weights returns a copy of the current weight vector.
-func (ev *Evaluator) Weights() []float64 { return append([]float64(nil), ev.w...) }
-
-// Weight returns the current weight of one link.
-func (ev *Evaluator) Weight(link int) float64 { return ev.w[link] }
-
-// TotalFlow returns a copy of the aggregate per-link flow.
-func (ev *Evaluator) TotalFlow() []float64 { return append([]float64(nil), ev.total...) }
-
-// Reevaluate replaces the weight vector and rebuilds the whole state
-// from scratch — the oracle every incremental update must match
-// bit-for-bit, and the full-re-evaluation baseline the bench harness
-// times the incremental path against. Allocation-free in steady state.
-func (ev *Evaluator) Reevaluate(weights []float64) error {
-	if len(weights) != ev.g.NumLinks() {
-		return fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), ev.g.NumLinks())
-	}
-	copy(ev.w, weights)
-	for i := range ev.dests {
-		if err := ev.evalDestInto(ev.ws, ev.w, i, ev.dags[i], ev.splits[i], ev.flows[i]); err != nil {
-			return err
-		}
-	}
-	ev.recomputeCost()
-	return nil
-}
-
-// SetWeight applies one single-link weight change incrementally:
-// destinations the change cannot affect (see appendAffected) keep their
-// DAGs, splits and flows untouched; affected ones are re-routed in
-// place. The aggregate flow is then re-summed over every destination in
-// order, so the resulting state — flows, total and cost — is
-// bit-identical to Reevaluate on the modified vector. Allocation-free
-// in steady state.
-func (ev *Evaluator) SetWeight(link int, w float64) error {
-	if link < 0 || link >= ev.g.NumLinks() {
-		return fmt.Errorf("%w: link %d out of range", ErrBadInput, link)
-	}
-	if math.IsNaN(w) || w < 0 {
-		return fmt.Errorf("%w: weight %v for link %d", ErrBadInput, w, link)
-	}
-	if w == ev.w[link] {
-		return nil
-	}
-	ev.affected = ev.appendAffected(ev.affected[:0], link, w)
-	ev.w[link] = w
-	for _, i := range ev.affected {
-		if err := ev.evalDestInto(ev.ws, ev.w, i, ev.dags[i], ev.splits[i], ev.flows[i]); err != nil {
-			return err
-		}
-	}
-	if len(ev.affected) > 0 {
-		ev.recomputeCost()
-	}
-	return nil
-}
-
-// appendAffected appends the indices (into Destinations order) of the
-// destinations whose shortest-path state can change when link e's
-// weight moves from its current value to w. The screen is exact, not
-// heuristic: for an unlisted destination the distances, the DAG, the
-// splits and the propagated flow are all bitwise unchanged.
-//
-// Let e = (u,v) with destination-rooted distances du, dv.
-//
-//   - Decrease: distances or membership can change only if e reaches
-//     the equal-cost band under its new weight, dv + w - du <= eps
-//     (including du unreachable, where e may create connectivity).
-//     Otherwise no Bellman inequality is violated — the old distance
-//     vector, realized by paths that avoid e, remains optimal — and
-//     every membership test other than e's reads unchanged inputs while
-//     e's slack stays above the band.
-//   - Increase: only current members of the equal-cost band
-//     (dv < du and dv + w_old - du <= eps) can change; a non-member's
-//     slack only grows and no shortest path uses it.
-//
-// If v cannot reach the destination, no path through e ever reaches it
-// and the destination is unaffected either way.
-func (ev *Evaluator) appendAffected(buf []int, e int, w float64) []int {
-	l := ev.g.Link(e)
-	old := ev.w[e]
-	for i, dag := range ev.dags {
-		du, dv := dag.Dist[l.From], dag.Dist[l.To]
-		if dv == graph.Unreachable {
-			continue
-		}
-		if w < old {
-			if du == graph.Unreachable || dv+w-du <= ev.eps {
-				buf = append(buf, i)
-			}
-		} else {
-			if du != graph.Unreachable && dv < du && dv+old-du <= ev.eps {
-				buf = append(buf, i)
-			}
-		}
-	}
-	return buf
-}
-
-// evalDestInto routes destination i under w: shortest-path DAG, even
-// ECMP ratios, and the propagated per-link flow, written into the given
-// owned storage.
-func (ev *Evaluator) evalDestInto(ws *graph.Workspace, w []float64, i int, dag *graph.DAG, ratio, flow []float64) error {
-	built, err := ws.BuildDAG(ev.g, w, ev.dests[i], ev.tol)
-	if err != nil {
-		return err
-	}
-	dag.CopyFrom(built)
-	ecmpRatios(ev.g, dag, ratio)
-	if err := ws.PropagateDownInto(ev.g, dag, ev.demands[i], ratio, flow); err != nil {
-		return fmt.Errorf("localsearch: destination %d: %w", ev.dests[i], err)
-	}
-	return nil
-}
-
-// recomputeCost re-sums the aggregate flow over every destination in
-// Destinations order — the same deterministic order mcf.Flow uses — and
-// evaluates the Fortz-Thorup cost.
-func (ev *Evaluator) recomputeCost() {
-	for j := range ev.total {
-		ev.total[j] = 0
-	}
-	for i := range ev.dests {
-		for j, x := range ev.flows[i] {
-			ev.total[j] += x
-		}
-	}
-	ev.cost = fortzTotal(ev.caps, ev.total)
-}
-
-// fortzTotal sums the Fortz-Thorup cost over the links in ID order —
-// the same terms in the same order as objective.TotalCost, without that
-// function's link-table copy, so the hot paths stay allocation-free.
-func fortzTotal(caps, flows []float64) float64 {
-	var ft objective.FortzThorup
-	var total float64
-	for e, f := range flows {
-		total += ft.Cost(e, f, caps[e])
-	}
-	return total
-}
-
-// ecmpRatios overwrites ratio with OSPF's even equal-cost split: every
-// DAG out-link of a node carries 1/outdegree, every other link 0 — the
-// same arithmetic routing.BuildOSPF applies, so the final router build
-// reproduces the search's evaluation bit-for-bit.
-func ecmpRatios(g *graph.Graph, d *graph.DAG, ratio []float64) {
-	for i := range ratio {
-		ratio[i] = 0
-	}
-	for u := 0; u < g.NumNodes(); u++ {
-		outs := d.Out[u]
-		for _, id := range outs {
-			ratio[id] = 1 / float64(len(outs))
-		}
-	}
-}
+// Evaluator is internal/delta's incremental routing-state evaluator:
+// the full ECMP evaluation of one weight vector on one (graph, demand
+// matrix) pair, updated in place under single-link weight changes. It
+// started life in this package (the search's inner loop) and was
+// extracted unchanged, so search trajectories are bit-identical to the
+// pre-extraction implementation.
+type Evaluator = delta.Evaluator
 
 // Scratch is the private arena one worker needs to score candidates
-// against a shared Evaluator with TryWeight: a workspace, a trial
-// weight vector, ratio/total buffers and per-affected-destination flow
-// rows. Scratches are not safe for concurrent use; Search draws one per
-// worker.
-type Scratch struct {
-	ws       *graph.Workspace
-	w        []float64
-	ratio    []float64
-	total    []float64
-	flows    [][]float64
-	affected []int
-}
+// against a shared Evaluator with TryWeight.
+type Scratch = delta.Scratch
 
-// NewScratch returns a scratch sized for the evaluator's topology.
-func (ev *Evaluator) NewScratch() *Scratch {
-	return &Scratch{
-		ws:    graph.NewWorkspace(ev.g),
-		w:     make([]float64, ev.g.NumLinks()),
-		ratio: make([]float64, ev.g.NumLinks()),
-		total: make([]float64, ev.g.NumLinks()),
-	}
-}
-
-// fit re-sizes the scratch for the evaluator's shape (scratches may be
-// pooled across the intact and failure-variant evaluators, whose link
-// counts differ).
-func (s *Scratch) fit(ev *Evaluator) {
-	m := ev.g.NumLinks()
-	if cap(s.w) < m {
-		s.w = make([]float64, m)
-		s.ratio = make([]float64, m)
-		s.total = make([]float64, m)
-	}
-	s.w, s.ratio, s.total = s.w[:m], s.ratio[:m], s.total[:m]
-}
-
-// flowRow returns the k-th per-destination flow row, growing the row
-// set on demand and each row to the evaluator's link count.
-func (s *Scratch) flowRow(k, links int) []float64 {
-	for len(s.flows) <= k {
-		s.flows = append(s.flows, nil)
-	}
-	if cap(s.flows[k]) < links {
-		s.flows[k] = make([]float64, links)
-	}
-	s.flows[k] = s.flows[k][:links]
-	return s.flows[k]
-}
-
-// TryWeight returns the Fortz-Thorup cost the evaluator would report
-// after SetWeight(link, w), without mutating any shared state: affected
-// destinations are re-routed into the scratch, unaffected ones read
-// from the shared state, and the aggregate is re-summed in the same
-// destination order — bit-identical to applying the change. Multiple
-// goroutines may call TryWeight on one Evaluator concurrently as long
-// as each brings its own Scratch and nothing mutates the evaluator.
-func (ev *Evaluator) TryWeight(s *Scratch, link int, w float64) (float64, error) {
-	if link < 0 || link >= ev.g.NumLinks() {
-		return 0, fmt.Errorf("%w: link %d out of range", ErrBadInput, link)
-	}
-	if math.IsNaN(w) || w < 0 {
-		return 0, fmt.Errorf("%w: weight %v for link %d", ErrBadInput, w, link)
-	}
-	if w == ev.w[link] {
-		return ev.cost, nil
-	}
-	s.fit(ev)
-	s.affected = ev.appendAffected(s.affected[:0], link, w)
-	if len(s.affected) == 0 {
-		return ev.cost, nil
-	}
-	copy(s.w, ev.w)
-	s.w[link] = w
-	for k, i := range s.affected {
-		flow := s.flowRow(k, ev.g.NumLinks())
-		built, err := s.ws.BuildDAG(ev.g, s.w, ev.dests[i], ev.tol)
-		if err != nil {
-			return 0, err
-		}
-		ecmpRatios(ev.g, built, s.ratio)
-		if err := s.ws.PropagateDownInto(ev.g, built, ev.demands[i], s.ratio, flow); err != nil {
-			return 0, fmt.Errorf("localsearch: destination %d: %w", ev.dests[i], err)
-		}
-	}
-	for j := range s.total {
-		s.total[j] = 0
-	}
-	next := 0
-	for i := range ev.dests {
-		row := ev.flows[i]
-		if next < len(s.affected) && s.affected[next] == i {
-			row = s.flows[next]
-			next++
-		}
-		for j, x := range row {
-			s.total[j] += x
-		}
-	}
-	return fortzTotal(ev.caps, s.total), nil
-}
-
-// Equal compares two evaluators' complete state bitwise — weights,
-// per-destination distances, DAG adjacency, split ratios, flows,
-// aggregate flow and cost — returning a descriptive error on the first
-// mismatch. It is the oracle of the incremental-vs-full parity checks.
-func (ev *Evaluator) Equal(o *Evaluator) error {
-	if len(ev.w) != len(o.w) || len(ev.dests) != len(o.dests) {
-		return fmt.Errorf("localsearch: shape mismatch: %d/%d links, %d/%d destinations",
-			len(ev.w), len(o.w), len(ev.dests), len(o.dests))
-	}
-	for e := range ev.w {
-		if ev.w[e] != o.w[e] {
-			return fmt.Errorf("localsearch: weight of link %d: %v vs %v", e, ev.w[e], o.w[e])
-		}
-	}
-	for i, t := range ev.dests {
-		if t != o.dests[i] {
-			return fmt.Errorf("localsearch: destination %d: %d vs %d", i, t, o.dests[i])
-		}
-		a, b := ev.dags[i], o.dags[i]
-		for u := range a.Dist {
-			if a.Dist[u] != b.Dist[u] {
-				return fmt.Errorf("localsearch: destination %d: dist[%d] %v vs %v", t, u, a.Dist[u], b.Dist[u])
-			}
-		}
-		for u := range a.Out {
-			if len(a.Out[u]) != len(b.Out[u]) {
-				return fmt.Errorf("localsearch: destination %d: node %d has %d vs %d DAG out-links",
-					t, u, len(a.Out[u]), len(b.Out[u]))
-			}
-			for k := range a.Out[u] {
-				if a.Out[u][k] != b.Out[u][k] {
-					return fmt.Errorf("localsearch: destination %d: node %d out-link %d: %d vs %d",
-						t, u, k, a.Out[u][k], b.Out[u][k])
-				}
-			}
-		}
-		for e := range ev.splits[i] {
-			if ev.splits[i][e] != o.splits[i][e] {
-				return fmt.Errorf("localsearch: destination %d: split[%d] %v vs %v",
-					t, e, ev.splits[i][e], o.splits[i][e])
-			}
-			if ev.flows[i][e] != o.flows[i][e] {
-				return fmt.Errorf("localsearch: destination %d: flow[%d] %v vs %v",
-					t, e, ev.flows[i][e], o.flows[i][e])
-			}
-		}
-	}
-	for e := range ev.total {
-		if ev.total[e] != o.total[e] {
-			return fmt.Errorf("localsearch: total flow[%d]: %v vs %v", e, ev.total[e], o.total[e])
-		}
-	}
-	if ev.cost != o.cost {
-		return fmt.Errorf("localsearch: cost %v vs %v", ev.cost, o.cost)
-	}
-	return nil
+// NewEvaluator fully evaluates the weight vector and returns the
+// resulting state. See delta.NewEvaluator.
+func NewEvaluator(g *graph.Graph, tm *traffic.Matrix, weights []float64, tol float64) (*Evaluator, error) {
+	return delta.NewEvaluator(g, tm, weights, tol)
 }

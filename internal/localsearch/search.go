@@ -213,7 +213,7 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	cur := currentScore()
-	best := append([]float64(nil), intact.w...)
+	best := intact.Weights()
 	bestScore := cur
 	evals := 1
 	stale := 0
@@ -275,7 +275,7 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 			stale = 0
 			if cur < bestScore {
 				bestScore = cur
-				copy(best, intact.w)
+				intact.CopyWeights(best)
 			}
 			continue
 		}
@@ -293,7 +293,7 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 			cur = currentScore()
 			if cur < bestScore {
 				bestScore = cur
-				copy(best, intact.w)
+				intact.CopyWeights(best)
 			}
 			stale = 0
 		}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/topo"
 	"repro/internal/traffic"
@@ -297,8 +298,13 @@ func importedTopology(kind, spec string, params map[string]string, withDemands b
 }
 
 // namedTopologies lists the registry's named topology specs (for error
-// messages), or a static fallback if the registry fails to build.
-func namedTopologies() []string {
+// messages), or nil if the registry fails to build. The set is static
+// per process, and building it means constructing every Table III
+// network, so it is computed once and cached: a long-running server's
+// bad-request path must not rebuild the registry per request. The
+// returned slice is full (len == cap), so callers may append without
+// clobbering the cache, but must not write to it in place.
+var namedTopologies = sync.OnceValue(func() []string {
 	infos, err := RegisteredTopologies()
 	if err != nil {
 		return nil
@@ -308,7 +314,7 @@ func namedTopologies() []string {
 		names[i] = t.Name
 	}
 	return names
-}
+})
 
 func builtinExample(name string, params map[string]string, build func() (*Network, *Demands, error)) (Topology, error) {
 	if err := onlyParams(name, params); err != nil {
@@ -337,11 +343,14 @@ func canonicalTopology(name, canonicalID string, n *Network, withDemands bool) (
 	return t, nil
 }
 
-func knownTopologies() string {
-	names := namedTopologies()
+// knownTopologies renders the full topology inventory for error
+// messages, cached for the same hot-path reason as namedTopologies
+// (the per-call version re-sorted the name list on every bad request).
+var knownTopologies = sync.OnceValue(func() string {
+	names := append([]string(nil), namedTopologies()...)
 	sort.Strings(names)
 	return strings.Join(append(names, specNames(topologyGeneratorDocs)...), ", ")
-}
+})
 
 // ResolveDemands resolves a demand-generator spec for the network:
 //
@@ -405,10 +414,23 @@ func ResolveDemands(spec string, n *Network) (*Demands, error) {
 	if isSequenceSpec(name) {
 		return nil, fmt.Errorf("%w: %q is a temporal demand sequence, not a single matrix — use it as a Suite demand spec or resolve it with ResolveDemandSequence", ErrBadInput, spec)
 	}
+	inv := demandInventory()
 	return nil, fmt.Errorf("%w: unknown demand generator %q%s (known: %s; sequences: %s)",
-		ErrBadInput, spec, suggest(name, append(docNames(demandDocs), docNames(sequenceDocs)...)),
-		strings.Join(specNames(demandDocs), ", "), strings.Join(specNames(sequenceDocs), ", "))
+		ErrBadInput, spec, suggest(name, inv.names), inv.singles, inv.sequences)
 }
+
+// demandInventory caches the demand-generator name lists the unknown-
+// spec error renders, so a server's bad-request path doesn't rebuild
+// and re-join them per request.
+var demandInventory = sync.OnceValue(func() (inv struct {
+	names              []string
+	singles, sequences string
+}) {
+	inv.names = append(docNames(demandDocs), docNames(sequenceDocs)...)
+	inv.singles = strings.Join(specNames(demandDocs), ", ")
+	inv.sequences = strings.Join(specNames(sequenceDocs), ", ")
+	return inv
+})
 
 // isSequenceSpec reports whether name is a temporal demand-sequence
 // generator (resolvable by ResolveDemandSequence, not ResolveDemands).

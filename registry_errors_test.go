@@ -1,0 +1,108 @@
+package spef
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The unknown-spec error paths render their inventories from
+// process-lifetime caches (namedTopologies, knownTopologies,
+// demandInventory, routerInventory) so a server's bad-request path
+// doesn't rebuild the registry per request. These tests pin the
+// rendered error text to what per-call construction produced before
+// the hoist — byte for byte.
+
+// freshKnownTopologies rebuilds the topology inventory string the
+// pre-hoist per-call path produced.
+func freshKnownTopologies(t *testing.T) string {
+	t.Helper()
+	infos, err := RegisteredTopologies()
+	if err != nil {
+		t.Fatalf("RegisteredTopologies: %v", err)
+	}
+	names := make([]string, len(infos))
+	for i, ti := range infos {
+		names[i] = ti.Name
+	}
+	sort.Strings(names)
+	return strings.Join(append(names, specNames(topologyGeneratorDocs)...), ", ")
+}
+
+func TestUnknownTopologyErrorTextUnchanged(t *testing.T) {
+	_, err := ResolveTopology("abilenne")
+	if err == nil {
+		t.Fatal("ResolveTopology(abilenne) succeeded, want error")
+	}
+	infos, rerr := RegisteredTopologies()
+	if rerr != nil {
+		t.Fatalf("RegisteredTopologies: %v", rerr)
+	}
+	fresh := make([]string, 0, len(infos))
+	for _, ti := range infos {
+		fresh = append(fresh, ti.Name)
+	}
+	fresh = append(fresh, docNames(topologyGeneratorDocs)...)
+	want := "spef: bad input: unknown topology \"abilenne\"" +
+		suggest("abilenne", fresh) + " (known: " + freshKnownTopologies(t) + ")"
+	if got := err.Error(); got != want {
+		t.Fatalf("unknown-topology error text changed:\n got: %s\nwant: %s", got, want)
+	}
+	// The cached inventory must be stable across calls (appends in the
+	// error path must not clobber the shared backing array).
+	_, err2 := ResolveTopology("abilenne")
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second resolve rendered different text:\n first: %v\nsecond: %v", err, err2)
+	}
+}
+
+func TestUnknownRouterErrorTextUnchanged(t *testing.T) {
+	_, err := ResolveRouter("ospff", 0)
+	if err == nil {
+		t.Fatal("ResolveRouter(ospff) succeeded, want error")
+	}
+	known := append(docNames(routerDocs), "ospf")
+	want := "spef: bad input: unknown router \"ospff\"" +
+		suggest("ospff", known) + " (known: " + strings.Join(specNames(routerDocs), ", ") + ")"
+	if got := err.Error(); got != want {
+		t.Fatalf("unknown-router error text changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestUnknownDemandErrorTextUnchanged(t *testing.T) {
+	n, _, err := SimpleExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ResolveDemands("gravityy", n)
+	if err == nil {
+		t.Fatal("ResolveDemands(gravityy) succeeded, want error")
+	}
+	names := append(docNames(demandDocs), docNames(sequenceDocs)...)
+	want := "spef: bad input: unknown demand generator \"gravityy\"" +
+		suggest("gravityy", names) +
+		" (known: " + strings.Join(specNames(demandDocs), ", ") +
+		"; sequences: " + strings.Join(specNames(sequenceDocs), ", ") + ")"
+	if got := err.Error(); got != want {
+		t.Fatalf("unknown-demand error text changed:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestKnownTopologiesCachedStable: repeated bad requests must render
+// identical inventories — the property the cache relies on, since
+// error-path appends share the cached slice's backing array only if
+// it has spare capacity (it must not).
+func TestKnownTopologiesCachedStable(t *testing.T) {
+	first := knownTopologies()
+	for i := 0; i < 3; i++ {
+		if _, err := ResolveTopology("nope"); err == nil {
+			t.Fatal("ResolveTopology(nope) succeeded")
+		}
+		if _, err := ResolveDemands("nope", nil); err == nil {
+			break // nil network: only reached for specs that parse; ignore
+		}
+	}
+	if got := knownTopologies(); got != first {
+		t.Fatalf("knownTopologies changed across error-path calls:\n first: %s\n later: %s", first, got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"iter"
 	"strings"
+	"sync"
 )
 
 // Suite is a declarative scenario sweep: topologies and demand
@@ -269,7 +270,19 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 			FailurePenalty: rho,
 		}), nil
 	}
-	known := append(docNames(routerDocs), "ospf")
+	inv := routerInventory()
 	return nil, fmt.Errorf("%w: unknown router %q%s (known: %s)",
-		ErrBadInput, spec, suggest(name, known), strings.Join(specNames(routerDocs), ", "))
+		ErrBadInput, spec, suggest(name, inv.known), inv.list)
 }
+
+// routerInventory caches the router name lists the unknown-spec error
+// renders, so a server's bad-request path doesn't rebuild and re-join
+// them per request.
+var routerInventory = sync.OnceValue(func() (inv struct {
+	known []string
+	list  string
+}) {
+	inv.known = append(docNames(routerDocs), "ospf")
+	inv.list = strings.Join(specNames(routerDocs), ", ")
+	return inv
+})
