@@ -5,6 +5,8 @@
 //	spef [-quick] all
 //	spef suite -spec FILE [-format table|jsonl|csv] [-o FILE] [-stream]
 //	spef suite -topologies abilene -loads 0.12,0.14 -routers invcap,spef ...
+//	spef suite -spec FILE -shard 0/4 -o shard0.jsonl [-checkpoint N]
+//	spef merge [-format jsonl|csv|table] [-o FILE] shard0.jsonl shard1.jsonl ...
 //	spef serve [-addr HOST:PORT] [-load SPEC,...]
 //	spef catalog [-markdown]
 //
@@ -13,10 +15,15 @@
 // The suite subcommand sweeps a Grid declared in JSON or flags over the
 // topology/demand registry and writes results through a sink (aligned
 // table, JSONL, or CSV), optionally streaming each cell as it
-// completes. The catalog subcommand lists every registered topology,
-// generator, importer, demand generator, temporal demand sequence,
-// router and metric with its parameters. Interrupting the process
-// (SIGINT/SIGTERM) cancels the running experiment cleanly.
+// completes. With -shard i/n it runs one deterministic slice of the
+// sweep into a checkpointed, resumable shard file; merge validates a
+// complete shard set and reassembles the single-process output (see
+// the "Sharded sweeps" section of DESIGN.md). The catalog subcommand
+// lists every registered topology, generator, importer, demand
+// generator, temporal demand sequence, router and metric with its
+// parameters. Interrupting the process (SIGINT/SIGTERM) cancels the
+// running experiment cleanly; an interrupted shard resumes from its
+// last checkpoint.
 package main
 
 import (
@@ -70,6 +77,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "suite" {
 		if err := suiteMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "spef suite:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		if err := mergeMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef merge:", err)
 			os.Exit(1)
 		}
 		return
@@ -143,5 +157,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef serve [-addr HOST:PORT] [-load SPEC,...]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef suite ... -shard I/N -o SHARD.jsonl [-checkpoint N]\n       spef merge [-format jsonl|csv|table] [-o FILE] SHARD.jsonl ...\n       spef serve [-addr HOST:PORT] [-load SPEC,...]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	spef "repro"
+)
+
+// mergeMain runs `spef merge`: combine the shard files of a sharded
+// suite run (see `spef suite -shard`) back into the single sweep
+// output a one-process run would have produced.
+func mergeMain(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var (
+		format = fs.String("format", "jsonl", "output format: jsonl|csv|table (jsonl reproduces the single-process byte stream)")
+		out    = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: spef merge [-format jsonl|csv|table] [-o FILE] SHARD.jsonl ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no shard files given")
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+
+	var info *spef.MergeInfo
+	var err error
+	switch *format {
+	case "jsonl":
+		info, err = spef.MergeShardsJSONL(bw, paths...)
+	case "csv", "table":
+		// The manifest carries the sweep's metric columns, so rendered
+		// output gets the full header even if the first cell errored.
+		m, merr := spef.ReadShardManifest(paths[0])
+		if merr != nil {
+			return merr
+		}
+		var sink spef.Sink
+		if *format == "csv" {
+			sink = spef.NewCSVSink(bw, m.MetricNames...)
+		} else {
+			sink = spef.NewTableSink(bw, m.MetricNames...)
+		}
+		info, err = spef.MergeShards(sink, paths...)
+	default:
+		return fmt.Errorf("unknown -format %q (want jsonl, csv or table)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spef merge: %d cells from %d shards (suite %q, %s)\n",
+		info.Cells, info.Shards, info.Suite, info.SuiteHash)
+	return nil
+}

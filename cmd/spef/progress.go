@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// stderrIsTTY reports whether stderr is an interactive terminal —
+// progress meters default on only there, so piped and CI runs stay
+// clean.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// progressMeter builds the stderr progress callback `spef suite`
+// shares between its batch, stream and shard paths: cells done/total,
+// the completion rate, and an ETA, redrawn in place at most ~5x per
+// second. Returns nil (no reporting) when quiet is set, or when
+// stderr is not a TTY and force is unset.
+func progressMeter(force, quiet bool) func(done, total int) {
+	if quiet || (!force && !stderrIsTTY()) {
+		return nil
+	}
+	start := time.Now()
+	first := -1
+	var last time.Time
+	return func(done, total int) {
+		// The first call carries the resumed baseline; the rate and ETA
+		// cover only cells completed this session.
+		if first < 0 {
+			first = done
+		}
+		now := time.Now()
+		if done < total && now.Sub(last) < 200*time.Millisecond {
+			return
+		}
+		last = now
+		line := fmt.Sprintf("\rsuite: %d/%d cells", done, total)
+		if secs := now.Sub(start).Seconds(); secs > 0 && done > first {
+			rate := float64(done-first) / secs
+			line += fmt.Sprintf("  %.1f cells/s", rate)
+			if done < total {
+				eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+				line += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+			}
+		}
+		fmt.Fprint(os.Stderr, line)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}

@@ -32,7 +32,10 @@ func suiteMain(args []string) error {
 		format     = fs.String("format", "table", "output format: table|jsonl|csv")
 		out        = fs.String("o", "", "output file (default stdout)")
 		stream     = fs.Bool("stream", false, "write each cell as it completes (completion order) instead of the deterministic batch order")
-		progress   = fs.Bool("progress", false, "report cell completion on stderr")
+		progress   = fs.Bool("progress", false, "report cell completion on stderr even when it is not a terminal (default: auto on TTYs)")
+		quiet      = fs.Bool("quiet", false, "suppress the progress meter")
+		shard      = fs.String("shard", "", "run only shard i/n of the sweep (0-based, e.g. 0/4) into the -o file, checkpointed for resume; combine shard files with `spef merge`")
+		checkpoint = fs.Int("checkpoint", spef.DefaultCheckpointEvery, "with -shard: flush and checkpoint the shard file every N completed cells (a killed shard loses at most N cells)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: spef suite -spec FILE | -topologies T,... -routers R,... [flags]")
@@ -89,6 +92,41 @@ func suiteMain(args []string) error {
 		suite.ReuseWeights = true
 	}
 
+	meter := progressMeter(*progress, *quiet)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *shard != "" {
+		sp, err := spef.ParseShardSpec(*shard)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			return fmt.Errorf("-shard requires -o (the shard's JSONL output file)")
+		}
+		formatSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if formatSet && *format != "jsonl" {
+			return fmt.Errorf("-shard always writes JSONL (render the merged sweep with `spef merge -format %s`)", *format)
+		}
+		rep, err := suite.RunShard(ctx, sp, *out, spef.ShardOptions{
+			CheckpointEvery: *checkpoint,
+			Progress:        meter,
+		})
+		if err != nil {
+			return err
+		}
+		// Unconditional one-line summary: scripts (and CI) assert on the
+		// resumed/ran counters.
+		fmt.Fprintf(os.Stderr, "spef suite: shard %s: %d/%d cells resumed=%d ran=%d failed=%d -> %s\n",
+			rep.Shard, rep.Resumed+rep.Ran, rep.ShardCells, rep.Resumed, rep.Ran, rep.Failed, rep.Path)
+		return runOutcome(ctx, rep.Failed)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -114,8 +152,6 @@ func suiteMain(args []string) error {
 		return fmt.Errorf("unknown -format %q (want table, jsonl or csv)", *format)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	cells, err := suite.Scenarios()
 	if err != nil {
 		return err
@@ -124,14 +160,9 @@ func suiteMain(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *progress {
+	if meter != nil {
 		fmt.Fprintf(os.Stderr, "suite: %d cells\n", len(cells))
-		opts.Progress = func(completed, total int) {
-			fmt.Fprintf(os.Stderr, "\rsuite: %d/%d cells", completed, total)
-			if completed == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		opts.Progress = meter
 	}
 
 	if *stream {

@@ -94,6 +94,11 @@ type Report struct {
 	// Serve records the control-plane daemon's per-event-type latency
 	// distribution and steady-state allocs/op (see ServeLatency).
 	Serve []ServeLatency `json:"serve,omitempty"`
+	// Sweep records the sharded sweep pipeline's throughput and its
+	// overhead versus the single-process batch path (see
+	// SweepThroughput); the accompanying shard-merge-vs-single parity
+	// entry guards bit identity.
+	Sweep []SweepThroughput `json:"sweep,omitempty"`
 }
 
 // measure times fn over roughly the given wall-clock budget: one
@@ -266,6 +271,19 @@ func Run(opts Options) (*Report, error) {
 	for _, s := range rep.Serve {
 		logf("serve  %-28s %6d events %10d ns p50 %10d ns p99 %8.1f allocs/op",
 			s.Name, s.Events, s.P50Ns, s.P99Ns, s.AllocsPerOp)
+	}
+	sweeps, sweepPar, err := sweepThroughput()
+	if err != nil {
+		return nil, err
+	}
+	rep.Sweep = sweeps
+	rep.Parity = append(rep.Parity, sweepPar...)
+	for _, p := range sweepPar {
+		logf("parity %-32s bit-identical=%v (%s)", p.Name, p.BitIdentical, p.Detail)
+	}
+	for _, s := range rep.Sweep {
+		logf("sweep  %-28s %6d cells %8.1f cells/s single %8.1f cells/s sharded | efficiency %.2f",
+			s.Name, s.Cells, s.SingleCellsPerSec, s.ShardCellsPerSec, s.ShardEfficiency)
 	}
 	return rep, nil
 }
@@ -641,6 +659,36 @@ func Check(cur, base *Report, tol float64, absolute bool) error {
 		if absolute && b.P99Ns > 0 && s.P99Ns > int64(float64(b.P99Ns)*(1+tol)) {
 			problems = append(problems, fmt.Sprintf(
 				"serve %s: p99 %d ns regressed more than %.0f%% over baseline %d ns", b.Name, s.P99Ns, tol*100, b.P99Ns))
+		}
+	}
+	// Sweep gates: every baselined surface must still be measured with
+	// cells actually run, and the shard pipeline's efficiency ratio
+	// (measured in one process, so machine speed cancels) must stay
+	// within tol of the baseline's. Raw cells/sec is machine-dependent
+	// and only gated in absolute mode.
+	curSweep := make(map[string]SweepThroughput, len(cur.Sweep))
+	for _, s := range cur.Sweep {
+		curSweep[s.Name] = s
+	}
+	for _, b := range base.Sweep {
+		s, ok := curSweep[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("sweep %s: baselined surface was not measured", b.Name))
+			continue
+		}
+		if s.Cells <= 0 {
+			problems = append(problems, fmt.Sprintf("sweep %s: no cells run", b.Name))
+			continue
+		}
+		if s.ShardEfficiency < b.ShardEfficiency*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"sweep %s: shard efficiency %.2f fell more than %.0f%% below baseline %.2f",
+				b.Name, s.ShardEfficiency, tol*100, b.ShardEfficiency))
+		}
+		if absolute && s.SingleCellsPerSec < b.SingleCellsPerSec*(1-tol) {
+			problems = append(problems, fmt.Sprintf(
+				"sweep %s: %.1f cells/s regressed more than %.0f%% below baseline %.1f cells/s",
+				b.Name, s.SingleCellsPerSec, tol*100, b.SingleCellsPerSec))
 		}
 	}
 	if len(problems) > 0 {

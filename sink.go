@@ -3,6 +3,7 @@ package spef
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -119,6 +120,11 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 
 // Write emits one result as a JSON line.
 func (s *JSONLSink) Write(r ScenarioResult) error {
+	return s.enc.Encode(resultRecord(r))
+}
+
+// resultRecord converts a result to its JSONL schema form.
+func resultRecord(r ScenarioResult) jsonlRecord {
 	rec := jsonlRecord{
 		Index:       r.Index,
 		Scenario:    r.Scenario,
@@ -137,7 +143,62 @@ func (s *JSONLSink) Write(r ScenarioResult) error {
 			rec.Metrics[k] = jsonFloat(v)
 		}
 	}
-	return s.enc.Encode(rec)
+	return rec
+}
+
+// marshalResultLine renders one result as exactly the bytes JSONLSink
+// writes for it — one JSON object plus the trailing newline. Shard
+// files are built from these lines, which is what makes a merged sweep
+// byte-identical to a single-process JSONL run.
+func marshalResultLine(r ScenarioResult) ([]byte, error) {
+	b, err := json.Marshal(resultRecord(r))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// UnmarshalResultJSONL decodes one JSONL result line (as written by
+// JSONLSink or a shard file) back into a ScenarioResult — the inverse
+// sinks need when re-rendering persisted runs as CSV or tables.
+// Non-finite metric spellings ("nan", "+inf", "-inf") round-trip, and
+// a persisted error string is restored into both Error and Err.
+func UnmarshalResultJSONL(line []byte) (ScenarioResult, error) {
+	var probe struct {
+		Index *int `json:"index"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return ScenarioResult{}, fmt.Errorf("%w: parsing result line: %v", ErrBadInput, err)
+	}
+	if probe.Index == nil {
+		return ScenarioResult{}, fmt.Errorf("%w: line is not a result record (no \"index\" field)", ErrBadInput)
+	}
+	var rec jsonlRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return ScenarioResult{}, fmt.Errorf("%w: parsing result line: %v", ErrBadInput, err)
+	}
+	r := ScenarioResult{
+		Index:       rec.Index,
+		Scenario:    rec.Scenario,
+		Topology:    rec.Topology,
+		Router:      rec.Router,
+		Load:        rec.Load,
+		Step:        rec.Step,
+		FailedLink:  rec.FailedLink,
+		MetricNames: rec.MetricNames,
+		Runtime:     time.Duration(rec.RuntimeMS * float64(time.Millisecond)),
+		Error:       rec.Error,
+	}
+	if rec.Error != "" {
+		r.Err = errors.New(rec.Error)
+	}
+	if len(rec.Metrics) > 0 {
+		r.Metrics = make(map[string]float64, len(rec.Metrics))
+		for k, v := range rec.Metrics {
+			r.Metrics[k] = float64(v)
+		}
+	}
+	return r, nil
 }
 
 // Flush is a no-op: every line is written eagerly.

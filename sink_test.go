@@ -75,6 +75,50 @@ func TestJSONLSinkRoundTrip(t *testing.T) {
 	}
 }
 
+// TestUnmarshalResultJSONL pins the decode path shard merges and
+// `spef merge -format csv|table` depend on: every field round-trips,
+// non-finite spellings included, and re-encoding reproduces the
+// original line byte-for-byte.
+func TestUnmarshalResultJSONL(t *testing.T) {
+	for _, orig := range sampleResults() {
+		line, err := marshalResultLine(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := UnmarshalResultJSONL(line)
+		if err != nil {
+			t.Fatalf("UnmarshalResultJSONL(%s): %v", line, err)
+		}
+		if r.Index != orig.Index || r.Scenario != orig.Scenario || r.Topology != orig.Topology ||
+			r.Router != orig.Router || r.Load != orig.Load || r.Error != orig.Error {
+			t.Errorf("identity fields round-tripped to %+v", r)
+		}
+		if orig.Error != "" && (r.Err == nil || r.Err.Error() != orig.Error) {
+			t.Errorf("Err restored as %v, want %q", r.Err, orig.Error)
+		}
+		for name, want := range orig.Metrics {
+			got := r.Metrics[name]
+			if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("metric %s round-tripped to %v, want %v", name, got, want)
+			}
+		}
+		// Re-encoding the decoded result reproduces the line exactly —
+		// the invariant canonicalized shard comparisons rely on.
+		line2, err := marshalResultLine(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(line, line2) {
+			t.Errorf("re-encode differs:\n%s%s", line, line2)
+		}
+	}
+	for _, bad := range []string{"", "not json", "[]", `{"scenario":"x"}`, `{"checkpoint":{"done":3}}`} {
+		if _, err := UnmarshalResultJSONL([]byte(bad)); !errors.Is(err, ErrBadInput) {
+			t.Errorf("UnmarshalResultJSONL(%q) err = %v, want ErrBadInput", bad, err)
+		}
+	}
+}
+
 func TestCSVSink(t *testing.T) {
 	var buf bytes.Buffer
 	sink := NewCSVSink(&buf, "mlu", "utility", "mm1_delay", "max_stretch")
