@@ -215,6 +215,28 @@ var routerDocs = []SpecDoc{
 		},
 	},
 	{
+		Name:    "mpls-ksp",
+		Summary: "MPLS explicit paths: per-demand splits over the k cheapest simple paths, LP-optimized for min MLU.",
+		Params: []ParamDoc{
+			{Name: "k", Default: "4", Doc: "candidate paths per demand"},
+			{Name: "iters", Default: "2000", Doc: "base-weight local-search budget"},
+			{Name: "wmax", Default: "20", Doc: "largest base integer weight"},
+			{Name: "seed", Default: "0", Doc: "base-weight search seed"},
+			{Name: "base", Default: "ospf-ls", Doc: "base weights: ospf-ls or invcap"},
+		},
+	},
+	{
+		Name:    "sr",
+		Summary: "Segment routing: each demand detours through at most one greedily chosen ECMP midpoint.",
+		Params: []ParamDoc{
+			{Name: "segs", Default: "2", Doc: "segment budget (1 = direct shortest paths)"},
+			{Name: "iters", Default: "2000", Doc: "base-weight local-search budget"},
+			{Name: "wmax", Default: "20", Doc: "largest base integer weight"},
+			{Name: "seed", Default: "0", Doc: "base-weight search seed"},
+			{Name: "base", Default: "ospf-ls", Doc: "base weights: ospf-ls or invcap"},
+		},
+	},
+	{
 		Name:    "ospf-ls-robust",
 		Summary: "Failure-aware local search: candidates scored against every single-link-failure variant.",
 		Params: []ParamDoc{

@@ -3,6 +3,7 @@ package spef
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,66 @@ func TestCatalogRendering(t *testing.T) {
 	}
 	if strings.Contains(md.String(), "spef-catalog:begin") {
 		t.Error("markdown fragment must not contain the README markers")
+	}
+}
+
+// TestReadmeCatalogSectionInSync pins the committed README's generated
+// "Scenario catalog" section to the live registry: adding a spec to any
+// *Docs table without regenerating the README (`go run ./cmd/spef
+// catalog -markdown`) fails here, not just in CI's shell diff.
+func TestReadmeCatalogSectionInSync(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- spef-catalog:begin -->\n", "<!-- spef-catalog:end -->"
+	_, rest, ok := strings.Cut(string(readme), begin)
+	if !ok {
+		t.Fatal("README.md is missing the spef-catalog:begin marker")
+	}
+	section, _, ok := strings.Cut(rest, end)
+	if !ok {
+		t.Fatal("README.md is missing the spef-catalog:end marker")
+	}
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md bytes.Buffer
+	if err := c.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if section != md.String() {
+		t.Fatal("README 'Scenario catalog' section is stale; regenerate with: go run ./cmd/spef catalog -markdown")
+	}
+}
+
+// TestRouterInventoryMatchesCatalog: the unknown-router error's
+// inventory and the catalog must both be views of routerDocs — a router
+// registered in one place but not the other would document specs that
+// don't resolve (or resolve specs that aren't documented).
+func TestRouterInventoryMatchesCatalog(t *testing.T) {
+	c, err := NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := routerInventory()
+	known := make(map[string]bool, len(inv.known))
+	for _, name := range inv.known {
+		known[name] = true
+	}
+	for _, d := range c.Routers {
+		if !known[d.Name] {
+			t.Errorf("catalog router %q missing from the unknown-router inventory", d.Name)
+		}
+		if !strings.Contains(inv.list, d.Name) {
+			t.Errorf("catalog router %q missing from the inventory list %q", d.Name, inv.list)
+		}
+	}
+	for _, name := range []string{"mpls-ksp", "sr"} {
+		if !known[name] {
+			t.Errorf("explicit-path router %q not in the inventory", name)
+		}
 	}
 }
 

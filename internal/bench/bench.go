@@ -407,6 +407,13 @@ func kernelSuite(in *instance, budget time.Duration) ([]Kernel, error) {
 				panic(err)
 			}
 		}))
+
+	// The explicit-path surfaces (Yen enumeration, the MPLS path LP).
+	eks, err := explicitKernels(in, budget)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, eks...)
 	return out, nil
 }
 
@@ -496,6 +503,12 @@ func parityChecks(in *instance) ([]Parity, error) {
 		Detail:       detail,
 		BitIdentical: parityErr == nil,
 	})
+
+	eps, err := explicitParity(in)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, eps...)
 	return out, nil
 }
 

@@ -1,0 +1,21 @@
+// Package explicit implements the explicit-path traffic-engineering
+// schemes between weight-tuned OSPF and the unconstrained optimum: the
+// MPLS-style k-shortest-path LP (pick per-demand splits over k candidate
+// paths minimizing the maximum link utilization) and two-segment routing
+// (detour each demand through at most one ECMP-shortest-path midpoint,
+// chosen greedily).
+//
+// Both schemes route *on top of* a base IGP weight vector: candidate
+// paths are k-cheapest under the weights, and segment legs follow the
+// weights' even-ECMP shortest-path DAGs, exactly as a segment-routed or
+// LDP-signalled network would forward. UnitFlows precomputes, per
+// ordered node pair, the per-link flow of one traffic unit ECMP-routed
+// between the pair — the shared building block: the direct (0-segment)
+// flow, every midpoint detour, and the MPLS fallback all assemble from
+// these vectors by linearity.
+//
+// Everything here is deterministic for any worker count: parallel
+// per-destination builds write disjoint slots, greedy passes run in
+// fixed demand order with first-wins tie-breaks, and the LP is the
+// dense deterministic simplex of internal/lp.
+package explicit

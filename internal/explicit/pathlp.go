@@ -1,0 +1,184 @@
+package explicit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ksp"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/par"
+	"repro/internal/traffic"
+)
+
+// ErrLP reports that the path LP could not be solved to optimality (a
+// numerical failure of the simplex, not an input error — the model is
+// feasible and bounded by construction). Callers fall back to a
+// non-LP routing.
+var ErrLP = errors.New("explicit: path LP not solved")
+
+// PathLP selects per-demand traffic splits over each pair's k cheapest
+// simple paths, minimizing the maximum link utilization (the MPLS-style
+// explicit-path LP: variables are per-path fractions plus the MLU).
+//
+// Candidate paths depend only on the weights, not the matrix, so a
+// PathLP caches them per ordered pair: re-solving for a rescaled or
+// otherwise changed matrix over the same pairs skips enumeration
+// entirely (the contract behind sweep weight reuse and the mplslp
+// benchmark's fast path). A PathLP is NOT safe for concurrent use.
+type PathLP struct {
+	g     *graph.Graph
+	w     []float64
+	k     int
+	cands map[[2]int][]ksp.Path
+}
+
+// NewPathLP validates the query shape; path enumeration is deferred to
+// Solve, which knows the demand pairs.
+func NewPathLP(g *graph.Graph, weights []float64, k int) (*PathLP, error) {
+	if len(weights) != g.NumLinks() {
+		return nil, fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), g.NumLinks())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d must be >= 1", ErrBadInput, k)
+	}
+	return &PathLP{
+		g:     g,
+		w:     append([]float64(nil), weights...),
+		k:     k,
+		cands: make(map[[2]int][]ksp.Path),
+	}, nil
+}
+
+// LPResult is the output of PathLP.Solve.
+type LPResult struct {
+	// Flow is the selected routing, assembled in demand order.
+	Flow *mcf.Flow
+	// MLU is Flow's maximum link utilization (recomputed from the flow,
+	// not the LP objective, so it is consistent with every other
+	// router's reporting arithmetic).
+	MLU float64
+	// Paths is the total number of candidate paths across demands.
+	Paths int
+}
+
+// Solve enumerates (or reuses) each demand pair's candidates and solves
+// the split LP. Returns ErrLP-wrapped errors on simplex failure.
+func (p *PathLP) Solve(ctx context.Context, tm *traffic.Matrix) (*LPResult, error) {
+	dems := tm.Demands()
+	if err := p.enumerate(ctx, dems); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Variable layout: each demand's candidate paths in demand order,
+	// then theta (the MLU) last.
+	varBase := make([]int, len(dems))
+	nv := 0
+	for i, d := range dems {
+		varBase[i] = nv
+		nv += len(p.cands[[2]int{d.Src, d.Dst}])
+	}
+	theta := nv
+	nv++
+
+	prob := lp.NewProblem(nv)
+	prob.Obj[theta] = 1
+	// One convexity row per demand: its path fractions sum to 1. The
+	// row only needs coefficients up to the demand's last variable.
+	for i, d := range dems {
+		paths := p.cands[[2]int{d.Src, d.Dst}]
+		row := make([]float64, varBase[i]+len(paths))
+		for pi := range paths {
+			row[varBase[i]+pi] = 1
+		}
+		prob.AddConstraint(row, lp.EQ, 1)
+	}
+	// One capacity row per link some candidate uses:
+	// sum vol * x_path - cap * theta <= 0.
+	rows := make([][]float64, p.g.NumLinks())
+	for i, d := range dems {
+		for pi, path := range p.cands[[2]int{d.Src, d.Dst}] {
+			for _, e := range path.Links {
+				if rows[e] == nil {
+					rows[e] = make([]float64, nv)
+				}
+				rows[e][varBase[i]+pi] += d.Volume
+			}
+		}
+	}
+	for e := 0; e < p.g.NumLinks(); e++ {
+		if rows[e] == nil {
+			continue
+		}
+		rows[e][theta] = -p.g.Link(e).Cap
+		prob.AddConstraint(rows[e], lp.LE, 0)
+	}
+
+	r, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLP, err)
+	}
+	if r.Status != lp.Optimal {
+		return nil, fmt.Errorf("%w: status %v", ErrLP, r.Status)
+	}
+
+	f := mcf.NewFlow(p.g, tm.Destinations())
+	total := 0
+	for i, d := range dems {
+		paths := p.cands[[2]int{d.Src, d.Dst}]
+		total += len(paths)
+		ft := f.PerDest[d.Dst]
+		for pi, path := range paths {
+			frac := r.X[varBase[i]+pi]
+			if frac <= 0 {
+				continue
+			}
+			for _, e := range path.Links {
+				ft[e] += d.Volume * frac
+			}
+		}
+	}
+	f.RecomputeTotal()
+	return &LPResult{Flow: f, MLU: MaxUtil(p.g, f.Total), Paths: total}, nil
+}
+
+// enumerate fills the candidate cache for every missing demand pair, on
+// parallel workers writing disjoint slots (per-pair enumeration itself
+// is sequential, so results are worker-count independent).
+func (p *PathLP) enumerate(ctx context.Context, dems []traffic.Demand) error {
+	var missing [][2]int
+	seen := make(map[[2]int]bool)
+	for _, d := range dems {
+		key := [2]int{d.Src, d.Dst}
+		if _, ok := p.cands[key]; !ok && !seen[key] {
+			seen[key] = true
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	found := make([][]ksp.Path, len(missing))
+	errs := make([]error, len(missing))
+	par.Do(len(missing), func(i int) {
+		found[i], errs[i] = ksp.KShortest(p.g, p.w, missing[i][0], missing[i][1], p.k)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		if len(found[i]) == 0 {
+			return fmt.Errorf("%w: demand %d -> %d is not routable", ErrBadInput, missing[i][0], missing[i][1])
+		}
+		p.cands[missing[i]] = found[i]
+	}
+	return nil
+}

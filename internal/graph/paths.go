@@ -28,6 +28,47 @@ func (p Path) Length(weights []float64) float64 {
 	return total
 }
 
+// AppendShortestPath appends onto buf the link IDs of one shortest
+// src -> dst path read off destination-rooted distances (dist as
+// computed by DijkstraTo under the same weights), and reports whether a
+// path was extracted. At every hop the smallest-ID out-link that lies
+// on a shortest path is taken — the link id with
+// dist[u] == weights[id] + dist[head] exactly (sound because dijkstraTo
+// assigned dist[u] as exactly such a sum) — so the extraction is
+// deterministic and allocation-free once buf has capacity.
+//
+// Weights must be strictly positive wherever traversable: a zero-weight
+// cycle of equal distances would make the equality walk spin, so with
+// positive weights the walk strictly descends dist and must terminate.
+// Masked links (weight +Inf) never satisfy the equality and are skipped
+// naturally. On failure (src unreachable, inconsistent dist) buf is
+// returned truncated to its original length.
+func AppendShortestPath(buf []int, g *Graph, weights, dist []float64, src int) ([]int, bool) {
+	start := len(buf)
+	if src < 0 || src >= g.NumNodes() || dist[src] == Unreachable {
+		return buf, false
+	}
+	u := src
+	for steps := 0; dist[u] > 0; steps++ {
+		if steps >= g.NumNodes() || dist[u] == Unreachable {
+			return buf[:start], false
+		}
+		next := -1
+		for _, id := range g.OutLinks(u) {
+			if dist[u] == weights[id]+dist[g.links[id].To] {
+				next = id
+				break // out-links are in increasing ID order
+			}
+		}
+		if next < 0 {
+			return buf[:start], false
+		}
+		buf = append(buf, next)
+		u = g.links[next].To
+	}
+	return buf, true
+}
+
 // EnumeratePaths lists every DAG path from src to the DAG's destination,
 // up to limit paths (limit <= 0 means unlimited). Paths are returned as
 // link-ID sequences. The shortest-path DAG is acyclic so enumeration

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendShortestPath checks the deterministic extraction against
+// DijkstraTo on random graphs: the walk must be a shortest path (its
+// right-folded cost telescopes to dist[src] bitwise), take the
+// smallest-ID link at every hop, and skip +Inf-masked links.
+func TestAppendShortestPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(10)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			if _, _, err := g.AddDuplex(i, (i+1)%n, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < rng.Intn(8); e++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddLink(a, b, 1)
+			}
+		}
+		w := make([]float64, g.NumLinks())
+		for i := range w {
+			w[i] = 1 + rng.Float64()
+		}
+		dst := rng.Intn(n)
+		sp, err := DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			buf, ok := AppendShortestPath(nil, g, w, sp.Dist, src)
+			if !ok {
+				t.Fatalf("trial %d: extraction failed for %d -> %d", trial, src, dst)
+			}
+			var cost float64
+			for i := len(buf) - 1; i >= 0; i-- {
+				cost = w[buf[i]] + cost
+			}
+			if cost != sp.Dist[src] {
+				t.Fatalf("trial %d: cost %v != dist %v", trial, cost, sp.Dist[src])
+			}
+			// Smallest-ID rule: no earlier out-link of any hop's tail also
+			// lies on a shortest path.
+			u := src
+			for _, id := range buf {
+				for _, cand := range g.OutLinks(u) {
+					if cand == id {
+						break
+					}
+					if sp.Dist[u] == w[cand]+sp.Dist[g.Link(cand).To] {
+						t.Fatalf("trial %d: hop at node %d took link %d over smaller shortest link %d", trial, u, id, cand)
+					}
+				}
+				u = g.Link(id).To
+			}
+			if u != dst {
+				t.Fatalf("trial %d: path ends at %d, want %d", trial, u, dst)
+			}
+		}
+	}
+}
+
+func TestAppendShortestPathMaskedAndUnreachable(t *testing.T) {
+	g := New(3)
+	ab, _ := g.AddLink(0, 1, 1)
+	bc, _ := g.AddLink(1, 2, 1)
+	ac, _ := g.AddLink(0, 2, 1)
+	w := make([]float64, g.NumLinks())
+	w[ab], w[bc], w[ac] = 1, 1, 1
+	// Mask the direct link: the two-hop path must be extracted.
+	masked := []float64{1, 1, math.Inf(1)}
+	sp, err := DijkstraTo(g, masked, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, ok := AppendShortestPath(nil, g, masked, sp.Dist, 0)
+	if !ok || len(buf) != 2 || buf[0] != ab || buf[1] != bc {
+		t.Fatalf("masked extraction = %v (ok=%v), want [%d %d]", buf, ok, ab, bc)
+	}
+	// Node 2 has no path to itself's sources: extraction from an
+	// unreachable node reports failure and leaves buf truncated.
+	spRev, err := DijkstraTo(g, masked, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []int{99}
+	buf, ok = AppendShortestPath(pre, g, masked, spRev.Dist, 2)
+	if ok || len(buf) != 1 || buf[0] != 99 {
+		t.Fatalf("unreachable extraction = %v (ok=%v), want prefix kept and ok=false", buf, ok)
+	}
+}

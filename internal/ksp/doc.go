@@ -1,0 +1,18 @@
+// Package ksp enumerates k-shortest loopless paths (Yen's algorithm)
+// over the graph package's workspace arenas.
+//
+// The enumerator is built for the explicit-path routers (MPLS-kSP's
+// path-based LP, segment routing's candidate analysis): it produces, for
+// one (source, destination) pair, the k cheapest simple paths under a
+// strictly positive weight vector, in nondecreasing cost order, fully
+// deterministically — ties are broken by the lexicographically smallest
+// link-ID sequence, and the whole computation is sequential, so results
+// are identical for any worker count and across runs.
+//
+// Each spur search is a destination-rooted Dijkstra on the intact graph
+// with banned links masked to +Inf weight (the shortest-path kernels
+// accept +Inf: a masked link can never relax a distance), so no graph
+// copies or link deletions are made. An Enumerator reuses every buffer
+// across calls; steady-state enumeration performs no heap allocation
+// (pinned by an AllocsPerRun test).
+package ksp

@@ -1,0 +1,258 @@
+package ksp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ErrBadInput reports inconsistent arguments.
+var ErrBadInput = errors.New("ksp: bad input")
+
+// Path is one loopless path: its link-ID sequence from the source to
+// the destination and its total cost under the query's weights. The
+// cost is the right-folded sum along the path — bitwise the Dijkstra
+// distance for the shortest path, which is what lets k=1 reproduce
+// DijkstraTo exactly.
+type Path struct {
+	Links []int
+	Cost  float64
+}
+
+// pathBuf is the arena form of a path: the links slice is reused across
+// calls, so accepted and candidate paths allocate only until the pool
+// reaches its steady-state capacity.
+type pathBuf struct {
+	links []int
+	cost  float64
+}
+
+// Enumerator computes k-shortest paths with reusable storage. The zero
+// value is ready to use; it is NOT safe for concurrent use (give every
+// worker its own). Returned paths share the enumerator's buffers and
+// are valid until the next KShortest call.
+type Enumerator struct {
+	ws     *graph.Workspace
+	masked []float64 // weights with banned links at +Inf
+	acc    []pathBuf // accepted paths A, in output order
+	cand   []pathBuf // candidate pool B
+	nodes  []int     // node sequence of the path being spurred
+	out    []Path    // returned headers
+}
+
+// check validates a k-shortest-path query. Weights must be strictly
+// positive and finite: positivity makes every shortest path simple and
+// the deterministic extraction terminate, and +Inf is reserved as the
+// enumerator's own link mask.
+func check(g *graph.Graph, weights []float64, src, dst, k int) error {
+	if len(weights) != g.NumLinks() {
+		return fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), g.NumLinks())
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("%w: link %d has weight %v (need strictly positive finite weights)", ErrBadInput, i, w)
+		}
+	}
+	n := g.NumNodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("%w: endpoints %d -> %d out of range [0, %d)", ErrBadInput, src, dst, n)
+	}
+	if src == dst {
+		return fmt.Errorf("%w: source equals destination %d", ErrBadInput, src)
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: k=%d must be >= 1", ErrBadInput, k)
+	}
+	return nil
+}
+
+// KShortest returns up to k cheapest simple src -> dst paths in
+// nondecreasing cost order (fewer when the graph has fewer simple
+// paths; nil when dst is unreachable). The returned slice and the paths'
+// Links share enumerator storage — valid until the next call; Clone
+// paths that must be retained.
+func (e *Enumerator) KShortest(g *graph.Graph, weights []float64, src, dst, k int) ([]Path, error) {
+	if err := check(g, weights, src, dst, k); err != nil {
+		return nil, err
+	}
+	if e.ws == nil {
+		e.ws = graph.NewWorkspace(g)
+	}
+	if cap(e.masked) < len(weights) {
+		e.masked = make([]float64, len(weights))
+	}
+	e.masked = e.masked[:len(weights)]
+	copy(e.masked, weights)
+	e.acc = e.acc[:0]
+	e.cand = e.cand[:0]
+
+	// First path: plain shortest path.
+	sp, err := e.ws.DijkstraTo(g, e.masked, dst)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Dist[src] == graph.Unreachable {
+		return nil, nil
+	}
+	var pb *pathBuf
+	e.acc, pb = grow(e.acc)
+	var ok bool
+	if pb.links, ok = graph.AppendShortestPath(pb.links[:0], g, e.masked, sp.Dist, src); !ok {
+		return nil, fmt.Errorf("ksp: shortest-path extraction failed for %d -> %d (internal error)", src, dst)
+	}
+	pb.cost = pathCost(weights, pb.links)
+
+	for len(e.acc) < k {
+		prev := len(e.acc) - 1 // index, not pointer: grow may move e.acc
+		e.nodes = appendNodes(e.nodes[:0], g, src, e.acc[prev].links)
+		for j := range e.acc[prev].links {
+			spur := e.nodes[j]
+			// Ban the next link of every accepted path sharing the root
+			// prefix, so the spur search finds a genuinely new deviation.
+			for ai := range e.acc {
+				a := e.acc[ai].links
+				if len(a) > j && equalPrefix(a, e.acc[prev].links, j) {
+					e.masked[a[j]] = math.Inf(1)
+				}
+			}
+			// Ban the root-path nodes (all their links) so the candidate
+			// root + spur stays loopless.
+			for _, u := range e.nodes[:j] {
+				for _, id := range g.OutLinks(u) {
+					e.masked[id] = math.Inf(1)
+				}
+				for _, id := range g.InLinks(u) {
+					e.masked[id] = math.Inf(1)
+				}
+			}
+			sp, err := e.ws.DijkstraTo(g, e.masked, dst)
+			if err == nil && sp.Dist[spur] != graph.Unreachable {
+				e.cand, pb = grow(e.cand)
+				pb.links = append(pb.links[:0], e.acc[prev].links[:j]...)
+				pb.links, ok = graph.AppendShortestPath(pb.links, g, e.masked, sp.Dist, spur)
+				if ok && !e.duplicateCandidate(pb.links) {
+					pb.cost = pathCost(weights, pb.links)
+				} else {
+					e.cand = e.cand[:len(e.cand)-1]
+				}
+			}
+			copy(e.masked, weights)
+		}
+		// Accept the cheapest candidate (ties: lexicographically smallest
+		// link sequence) — Yen's invariant keeps output costs
+		// nondecreasing.
+		best := -1
+		for i := range e.cand {
+			if best < 0 || pathLess(&e.cand[i], &e.cand[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // candidate pool dry: no more simple paths
+		}
+		e.acc, pb = grow(e.acc)
+		*pb, e.cand[best] = e.cand[best], *pb
+		last := len(e.cand) - 1
+		e.cand[best], e.cand[last] = e.cand[last], e.cand[best]
+		e.cand = e.cand[:last]
+	}
+
+	e.out = e.out[:0]
+	for i := range e.acc {
+		e.out = append(e.out, Path{Links: e.acc[i].links, Cost: e.acc[i].cost})
+	}
+	return e.out, nil
+}
+
+// KShortest is the allocating convenience over Enumerator.KShortest:
+// the returned paths own their storage.
+func KShortest(g *graph.Graph, weights []float64, src, dst, k int) ([]Path, error) {
+	var e Enumerator
+	paths, err := e.KShortest(g, weights, src, dst, k)
+	if err != nil || len(paths) == 0 {
+		return nil, err
+	}
+	out := make([]Path, len(paths))
+	for i, p := range paths {
+		out[i] = Path{Links: append([]int(nil), p.Links...), Cost: p.Cost}
+	}
+	return out, nil
+}
+
+// duplicateCandidate reports whether links already sits in the candidate
+// pool (the same deviation can be rediscovered from later spur bases);
+// the new entry under construction occupies the pool's last slot and is
+// excluded. Accepted paths cannot be duplicated by construction — their
+// next link at the shared prefix is banned.
+func (e *Enumerator) duplicateCandidate(links []int) bool {
+	for i := 0; i < len(e.cand)-1; i++ {
+		if equalLinks(e.cand[i].links, links) {
+			return true
+		}
+	}
+	return false
+}
+
+// grow extends bufs by one reusable slot and returns the slot.
+func grow(bufs []pathBuf) ([]pathBuf, *pathBuf) {
+	if len(bufs) < cap(bufs) {
+		bufs = bufs[:len(bufs)+1]
+	} else {
+		bufs = append(bufs, pathBuf{})
+	}
+	return bufs, &bufs[len(bufs)-1]
+}
+
+// pathCost right-folds the weights along the path — the same
+// association Dijkstra's backward relaxation produces, so the shortest
+// path's cost is bitwise its Dijkstra distance.
+func pathCost(weights []float64, links []int) float64 {
+	var c float64
+	for i := len(links) - 1; i >= 0; i-- {
+		c = weights[links[i]] + c
+	}
+	return c
+}
+
+// appendNodes expands a link path starting at src into its node
+// sequence (length len(links)+1).
+func appendNodes(buf []int, g *graph.Graph, src int, links []int) []int {
+	buf = append(buf, src)
+	for _, id := range links {
+		buf = append(buf, g.Link(id).To)
+	}
+	return buf
+}
+
+func equalPrefix(a, b []int, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalLinks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return equalPrefix(a, b, len(a))
+}
+
+// pathLess orders candidates by cost, then lexicographically by link
+// sequence (element-wise, shorter first) — the deterministic tie-break.
+func pathLess(a, b *pathBuf) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	n := min(len(a.links), len(b.links))
+	for i := 0; i < n; i++ {
+		if a.links[i] != b.links[i] {
+			return a.links[i] < b.links[i]
+		}
+	}
+	return len(a.links) < len(b.links)
+}

@@ -1,0 +1,259 @@
+package ksp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randGraph builds a connected-ish random directed graph of n nodes: a
+// duplex ring (guaranteeing strong connectivity) plus extra random
+// duplex chords, with strictly positive near-uniform random weights
+// (distinct enough that cost ties are measure-zero).
+func randGraph(t *testing.T, rng *rand.Rand, n, extra int) (*graph.Graph, []float64) {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if _, _, err := g.AddDuplex(i, (i+1)%n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for e := 0; e < extra; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if _, ok := g.FindLink(a, b); ok {
+			continue
+		}
+		if _, _, err := g.AddDuplex(a, b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := make([]float64, g.NumLinks())
+	for i := range w {
+		w[i] = 1 + rng.Float64()
+	}
+	return g, w
+}
+
+// checkSimple fails unless every path is a loopless src -> dst walk
+// with the right-folded cost it claims.
+func checkSimple(t *testing.T, g *graph.Graph, w []float64, src, dst int, paths []Path) {
+	t.Helper()
+	for pi, p := range paths {
+		nodes := graph.Path(p.Links).Nodes(g, src)
+		if nodes == nil {
+			t.Fatalf("path %d is not a walk from %d: %v", pi, src, p.Links)
+		}
+		if nodes[len(nodes)-1] != dst {
+			t.Fatalf("path %d ends at %d, want %d", pi, nodes[len(nodes)-1], dst)
+		}
+		seen := make(map[int]bool, len(nodes))
+		for _, u := range nodes {
+			if seen[u] {
+				t.Fatalf("path %d revisits node %d: %v", pi, u, nodes)
+			}
+			seen[u] = true
+		}
+		if c := pathCost(w, p.Links); c != p.Cost {
+			t.Fatalf("path %d cost %v, recomputed %v", pi, p.Cost, c)
+		}
+	}
+}
+
+// bruteForce enumerates every simple src -> dst path by DFS and returns
+// them sorted by the enumerator's (cost, lexicographic links) order.
+func bruteForce(g *graph.Graph, w []float64, src, dst int) []Path {
+	var all []Path
+	visited := make([]bool, g.NumNodes())
+	var cur []int
+	var walk func(u int)
+	walk = func(u int) {
+		if u == dst {
+			links := append([]int(nil), cur...)
+			all = append(all, Path{Links: links, Cost: pathCost(w, links)})
+			return
+		}
+		visited[u] = true
+		for _, id := range g.OutLinks(u) {
+			v := g.Link(id).To
+			if visited[v] {
+				continue
+			}
+			cur = append(cur, id)
+			walk(v)
+			cur = cur[:len(cur)-1]
+		}
+		visited[u] = false
+	}
+	walk(src)
+	sort.Slice(all, func(i, j int) bool {
+		return pathLess(&pathBuf{links: all[i].Links, cost: all[i].Cost},
+			&pathBuf{links: all[j].Links, cost: all[j].Cost})
+	})
+	return all
+}
+
+func TestKShortestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(4) // <= 7 nodes: brute force stays tiny
+		g, w := randGraph(t, rng, n, rng.Intn(5))
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		k := 1 + rng.Intn(6)
+		got, err := KShortest(g, w, src, dst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(g, w, src, dst)
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d paths, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !equalLinks(got[i].Links, want[i].Links) {
+				t.Fatalf("trial %d: path %d = %v (cost %v), want %v (cost %v)",
+					trial, i, got[i].Links, got[i].Cost, want[i].Links, want[i].Cost)
+			}
+		}
+		checkSimple(t, g, w, src, dst, got)
+		for i := 1; i < len(got); i++ {
+			if got[i].Cost < got[i-1].Cost {
+				t.Fatalf("trial %d: costs decrease at %d: %v < %v", trial, i, got[i].Cost, got[i-1].Cost)
+			}
+		}
+	}
+}
+
+func TestKShortestK1ReproducesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(10)
+		g, w := randGraph(t, rng, n, rng.Intn(8))
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		sp, err := graph.DijkstraTo(g, w, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := KShortest(g, w, src, dst, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("got %d paths, want 1", len(got))
+		}
+		// Bitwise, not approximately: the path cost is the right-folded
+		// weight sum, exactly the Dijkstra relaxation's arithmetic.
+		if got[0].Cost != sp.Dist[src] {
+			t.Fatalf("k=1 cost %v != Dijkstra distance %v", got[0].Cost, sp.Dist[src])
+		}
+		buf, ok := graph.AppendShortestPath(nil, g, w, sp.Dist, src)
+		if !ok || !equalLinks(got[0].Links, buf) {
+			t.Fatalf("k=1 path %v != extracted shortest path %v (ok=%v)", got[0].Links, buf, ok)
+		}
+	}
+}
+
+func TestKShortestDeterministicAcrossGoroutines(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, w := randGraph(t, rng, 12, 10)
+	ref, err := KShortest(g, w, 0, 7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([][]Path, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			var e Enumerator
+			// Exercise buffer reuse: a different query first, then the
+			// reference query twice.
+			if _, err := e.KShortest(g, w, 3, 9, 4); err != nil {
+				t.Error(err)
+				return
+			}
+			for rep := 0; rep < 2; rep++ {
+				got, err := e.KShortest(g, w, 0, 7, 8)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[slot] = append([]Path(nil), got...)
+				for j := range got {
+					results[slot][j].Links = append([]int(nil), got[j].Links...)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if len(got) != len(ref) {
+			t.Fatalf("worker %d: %d paths, want %d", i, len(got), len(ref))
+		}
+		for j := range got {
+			if got[j].Cost != ref[j].Cost || !equalLinks(got[j].Links, ref[j].Links) {
+				t.Fatalf("worker %d: path %d = %v (%v), want %v (%v)",
+					i, j, got[j].Links, got[j].Cost, ref[j].Links, ref[j].Cost)
+			}
+		}
+	}
+}
+
+func TestKShortestUnreachableAndErrors(t *testing.T) {
+	g := graph.New(3)
+	if _, err := g.AddLink(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	w := []float64{1}
+	if paths, err := KShortest(g, w, 0, 2, 3); err != nil || paths != nil {
+		t.Fatalf("unreachable: got (%v, %v), want (nil, nil)", paths, err)
+	}
+	for _, bad := range []struct {
+		name string
+		run  func() error
+	}{
+		{"zero weight", func() error { _, err := KShortest(g, []float64{0}, 0, 1, 1); return err }},
+		{"inf weight", func() error { _, err := KShortest(g, []float64{math.Inf(1)}, 0, 1, 1); return err }},
+		{"wrong len", func() error { _, err := KShortest(g, []float64{1, 1}, 0, 1, 1); return err }},
+		{"src==dst", func() error { _, err := KShortest(g, w, 1, 1, 1); return err }},
+		{"k=0", func() error { _, err := KShortest(g, w, 0, 1, 0); return err }},
+		{"range", func() error { _, err := KShortest(g, w, -1, 1, 1); return err }},
+	} {
+		if err := bad.run(); err == nil {
+			t.Errorf("%s: no error", bad.name)
+		}
+	}
+}
+
+func TestEnumeratorSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, w := randGraph(t, rng, 10, 8)
+	var e Enumerator
+	if _, err := e.KShortest(g, w, 0, 5, 6); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.KShortest(g, w, 0, 5, 6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state KShortest allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,169 @@
+package spef
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// ladderSuite is the committed six-rung optimality ladder: every scheme
+// the repo implements, ordered by expressiveness, over the GraphML
+// fixture. The golden JSONL of this suite is byte-compared in CI (the
+// ladder-smoke job runs the identical spec through `spef suite`).
+func ladderSuite() *Suite {
+	return &Suite{
+		Name:       "ladder",
+		Topologies: []string{"zoo:file=internal/topoio/testdata/testnet.graphml"},
+		Demands:    "gravity",
+		Loads:      []float64{0.2},
+		Routers: []string{
+			"invcap",
+			"ospf-ls:iters=150",
+			"spef:iters=40",
+			"sr:iters=150",
+			"mpls-ksp:iters=150",
+			"optimal:iters=40",
+		},
+		Metrics: []string{"mlu", "utility", "fortz_norm"},
+		Workers: 2,
+	}
+}
+
+const ladderGoldenPath = "testdata/ladder.golden.jsonl"
+
+// ladderJSONL runs the suite in-process and renders it exactly as
+// JSONLSink would, with runtimes zeroed (the only nondeterministic
+// field).
+func ladderJSONL(t *testing.T) []byte {
+	t.Helper()
+	results, err := ladderSuite().Collect(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %s failed: %v", r.Scenario, r.Err)
+		}
+		r.Runtime = 0
+		line, err := marshalResultLine(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+	}
+	return buf.Bytes()
+}
+
+// TestLadderGolden byte-compares the six-router ladder against the
+// committed golden JSONL. The run is deterministic for any worker
+// count, and the JSONL spellings of non-finite floats are pinned by the
+// sink contract, so any byte difference is a real behaviour change.
+// Regenerate with UPDATE_GOLDEN=1 after an intentional one.
+func TestLadderGolden(t *testing.T) {
+	got := ladderJSONL(t)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(ladderGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ladderGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", ladderGoldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(ladderGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1 go test -run TestLadderGolden)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ladder output drifted from %s.\n got: %s\nwant: %s\nRegenerate with UPDATE_GOLDEN=1 if intentional.",
+			ladderGoldenPath, got, want)
+	}
+
+	// The golden encodes the ladder ordering too — assert it directly
+	// so a regenerated golden can't silently commit an inversion.
+	mlu := map[string]float64{}
+	for _, line := range bytes.Split(bytes.TrimSpace(want), []byte("\n")) {
+		r, err := UnmarshalResultJSONL(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mlu[r.Router] = r.Metrics["mlu"]
+	}
+	chain := []string{"Optimal", "MPLS-kSP", "SR-2seg", "OSPF-LS", "InvCap-OSPF"}
+	for i := 1; i < len(chain); i++ {
+		lo, hi := mlu[chain[i-1]], mlu[chain[i]]
+		// Optimal (Frank-Wolfe, delay objective) gets the loose rung;
+		// the constructive rungs get float-drift tolerance only.
+		tol := ladderTol
+		if chain[i-1] == "Optimal" {
+			tol = 0.05
+		}
+		if lo > hi*(1+tol) {
+			t.Errorf("golden ladder inverted: %s MLU %v > %s MLU %v", chain[i-1], lo, chain[i], hi)
+		}
+	}
+}
+
+// TestLadderShardMergeBitIdentical runs the ladder suite as three
+// shards, merges them, and demands the merged JSONL be byte-identical
+// (modulo runtimes) to the single-process stream — the new routers obey
+// the sweep engine's reproducibility contract.
+func TestLadderShardMergeBitIdentical(t *testing.T) {
+	single := ladderJSONL(t)
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 3; i++ {
+		paths = append(paths, filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i)))
+		rep, err := ladderSuite().RunShard(t.Context(), ShardSpec{Index: i, Count: 3}, paths[i], ShardOptions{})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("shard %d: %d failed cells", i, rep.Failed)
+		}
+	}
+	var merged bytes.Buffer
+	if _, err := MergeShardsJSONL(&merged, paths...); err != nil {
+		t.Fatal(err)
+	}
+	norm := regexp.MustCompile(`"runtime_ms":[0-9.e+-]+`)
+	got := norm.ReplaceAllString(merged.String(), `"runtime_ms":0`)
+	want := norm.ReplaceAllString(string(single), `"runtime_ms":0`)
+	if got != want {
+		t.Fatalf("merged shards differ from single-process run.\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestLadderSuiteCoversEveryRouterFamily guards the suite definition
+// itself: all six rungs resolve and their display names are distinct
+// (the golden's rows stay distinguishable).
+func TestLadderSuiteCoversEveryRouterFamily(t *testing.T) {
+	s := ladderSuite()
+	names := map[string]bool{}
+	for _, spec := range s.Routers {
+		r, err := ResolveRouter(spec, s.MaxIterations)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if names[r.Name()] {
+			t.Errorf("duplicate router name %q in the ladder", r.Name())
+		}
+		names[r.Name()] = true
+	}
+	var got []string
+	for n := range names {
+		got = append(got, n)
+	}
+	sort.Strings(got)
+	want := "InvCap-OSPF,MPLS-kSP,OSPF-LS,Optimal,SPEF,SR-2seg"
+	if strings.Join(got, ",") != want {
+		t.Errorf("ladder routers = %s, want %s", strings.Join(got, ","), want)
+	}
+}

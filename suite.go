@@ -34,9 +34,11 @@ type Suite struct {
 	Betas              []float64 `json:"betas,omitempty"`
 	SingleLinkFailures bool      `json:"single_link_failures,omitempty"`
 	// Routers lists router specs: "spef", "invcap" (or "ospf"),
-	// "peft", "optimal", "ospf-ls", "ospf-ls-robust", each optionally
-	// parameterized ("spef:iters=N", "ospf-ls:iters=N,seed=S,wmax=W",
-	// "ospf-ls-robust:rho=R"); see ResolveRouter and `spef catalog`.
+	// "peft", "optimal", "ospf-ls", "ospf-ls-robust", "sr",
+	// "mpls-ksp", each optionally parameterized ("spef:iters=N",
+	// "ospf-ls:iters=N,seed=S,wmax=W", "ospf-ls-robust:rho=R",
+	// "sr:segs=2,base=invcap", "mpls-ksp:k=4"); see ResolveRouter
+	// and `spef catalog`.
 	Routers []string `json:"routers"`
 	// Metrics lists metric names (see MetricsByName); empty selects
 	// DefaultMetrics.
@@ -269,6 +271,60 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 			Robust:         robust,
 			FailurePenalty: rho,
 		}), nil
+	case "mpls-ksp", "sr":
+		allowed := []string{"seed", "wmax", "base"}
+		if name == "mpls-ksp" {
+			allowed = append(allowed, "k")
+		} else {
+			allowed = append(allowed, "segs")
+		}
+		iters, err := resolveIters(allowed...)
+		if err != nil {
+			return nil, err
+		}
+		seed, err := intParam(params, "seed", 0)
+		if err != nil {
+			return nil, err
+		}
+		wmax, err := intParam(params, "wmax", 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, set := params["wmax"]; set && wmax < 1 {
+			return nil, fmt.Errorf("%w: spec %q: wmax=%d must be >= 1", ErrBadInput, spec, wmax)
+		}
+		opts := ExplicitOptions{
+			MaxEvals:  int(iters),
+			WeightMax: int(wmax),
+			Seed:      seed,
+		}
+		switch base := params["base"]; base {
+		case "", "ospf-ls":
+		case "invcap":
+			opts.InvCapBase = true
+		default:
+			return nil, fmt.Errorf("%w: spec %q: base=%q must be ospf-ls or invcap", ErrBadInput, spec, base)
+		}
+		if name == "mpls-ksp" {
+			k, err := intParam(params, "k", defaultMPLSPaths)
+			if err != nil {
+				return nil, err
+			}
+			if k < 1 {
+				return nil, fmt.Errorf("%w: spec %q: k=%d must be >= 1", ErrBadInput, spec, k)
+			}
+			opts.K = int(k)
+			return MPLSKSP(opts), nil
+		}
+		segs, err := intParam(params, "segs", 2)
+		if err != nil {
+			return nil, err
+		}
+		if segs != 1 && segs != 2 {
+			return nil, fmt.Errorf("%w: spec %q: segs=%d must be 1 or 2", ErrBadInput, spec, segs)
+		}
+		opts.Segments = int(segs)
+		return SegmentRouting(opts), nil
 	}
 	inv := routerInventory()
 	return nil, fmt.Errorf("%w: unknown router %q%s (known: %s)",
