@@ -212,6 +212,7 @@ var routerDocs = []SpecDoc{
 			{Name: "iters", Default: "2000", Doc: "candidate-evaluation budget"},
 			{Name: "wmax", Default: "20", Doc: "largest integer weight"},
 			{Name: "seed", Default: "0", Doc: "neighborhood sampling seed"},
+			{Name: "accept", Default: "hill", Doc: "move acceptance: hill, or tabu:tenure=N (best move each round, changed link tabu for N rounds)"},
 		},
 	},
 	{
@@ -244,6 +245,27 @@ var routerDocs = []SpecDoc{
 			{Name: "wmax", Default: "20", Doc: "largest integer weight"},
 			{Name: "seed", Default: "0", Doc: "neighborhood sampling seed"},
 			{Name: "rho", Default: "1", Doc: "weight of the mean failure-variant cost in the score"},
+			{Name: "sample", Default: "all", Doc: "score k seeded sampled failure variants per candidate instead of all (k >= total is exactly exhaustive)"},
+			{Name: "sampleseed", Default: "0", Doc: "failure-variant sample seed"},
+			{Name: "accept", Default: "hill", Doc: "move acceptance: hill, or tabu:tenure=N (best move each round, changed link tabu for N rounds)"},
+		},
+	},
+}
+
+var failureDocs = []SpecDoc{
+	{
+		Name:    "single",
+		Summary: "One failure variant per duplex pair — the classic single-link-failure axis.",
+	},
+	{
+		Name:    "dual",
+		Summary: "Every single-link variant plus one variant per unordered pair of duplex-pair failures.",
+	},
+	{
+		Name:    "srlg",
+		Summary: "Shared-risk link groups: one variant per named group from a JSON file, all of its links failing together.",
+		Params: []ParamDoc{
+			{Name: "file", Default: "required", Doc: `JSON group file: {"groups":[{"name":...,"links":[["A","B"],...]}]}`},
 		},
 	},
 }
@@ -257,6 +279,7 @@ var metricDocs = []SpecDoc{
 	{Name: MetricMaxStretch, Summary: "Maximum volume-weighted path stretch over destinations (1.0 = hop-shortest)."},
 	{Name: MetricFortz, Summary: "Total Fortz-Thorup piecewise-linear congestion cost (the ospf-ls objective)."},
 	{Name: MetricFortzNorm, Summary: "Fortz-Thorup cost normalized by uncapacitated hop-shortest routing (Phi*; 1.0 = uncongested optimum)."},
+	{Name: MetricFailMLU, Summary: "Worst MLU of the cell's weights over the intact state and every single duplex-pair failure (+inf when a failure strands demand; OSPF/ECMP weight-backed routers only)."},
 }
 
 // Catalog is the full registry inventory: every named topology, every
@@ -275,6 +298,8 @@ type Catalog struct {
 	Sequences []SpecDoc
 	// Routers documents the router specs.
 	Routers []SpecDoc
+	// Failures documents the failure-set specs.
+	Failures []SpecDoc
 	// Metrics documents the metric names.
 	Metrics []SpecDoc
 }
@@ -291,6 +316,7 @@ func NewCatalog() (*Catalog, error) {
 		Demands:    demandDocs,
 		Sequences:  sequenceDocs,
 		Routers:    routerDocs,
+		Failures:   failureDocs,
 		Metrics:    metricDocs,
 	}, nil
 }
@@ -310,6 +336,7 @@ func (c *Catalog) WriteText(w io.Writer) error {
 		{"DEMAND GENERATORS", c.Demands},
 		{"DEMAND SEQUENCES (temporal)", c.Sequences},
 		{"ROUTERS", c.Routers},
+		{"FAILURE SETS", c.Failures},
 		{"METRICS", c.Metrics},
 	}
 	for _, sec := range sections {
@@ -342,6 +369,7 @@ func (c *Catalog) WriteMarkdown(w io.Writer) error {
 		{"Demand generators", c.Demands},
 		{"Demand sequences (temporal)", c.Sequences},
 		{"Routers", c.Routers},
+		{"Failure sets", c.Failures},
 		{"Metrics", c.Metrics},
 	}
 	for _, sec := range sections {

@@ -8,6 +8,7 @@
 //	spef suite -spec FILE -shard 0/4 -o shard0.jsonl [-checkpoint N]
 //	spef merge [-format jsonl|csv|table] [-o FILE] shard0.jsonl shard1.jsonl ...
 //	spef serve [-addr HOST:PORT] [-load SPEC,...]
+//	spef critlinks -topology SPEC [-failures single|dual|srlg:file=F] [-router SPEC]
 //	spef catalog [-markdown]
 //
 // Experiments: table1 fig2 fig3 fig6 fig7 table3 fig9 fig10 fig11
@@ -18,10 +19,13 @@
 // completes. With -shard i/n it runs one deterministic slice of the
 // sweep into a checkpointed, resumable shard file; merge validates a
 // complete shard set and reassembles the single-process output (see
-// the "Sharded sweeps" section of DESIGN.md). The catalog subcommand
-// lists every registered topology, generator, importer, demand
-// generator, temporal demand sequence, router and metric with its
-// parameters. Interrupting the process (SIGINT/SIGTERM) cancels the
+// the "Sharded sweeps" section of DESIGN.md). The critlinks subcommand
+// ranks a topology's failure units (duplex pairs, pairs of pairs, or
+// SRLG groups) by the MLU regret their failure inflicts on deployed
+// ECMP weights — see the "Multi-failure robustness" section of
+// DESIGN.md. The catalog subcommand lists every registered topology,
+// generator, importer, demand generator, temporal demand sequence,
+// router, failure set and metric with its parameters. Interrupting the process (SIGINT/SIGTERM) cancels the
 // running experiment cleanly; an interrupted shard resumes from its
 // last checkpoint.
 package main
@@ -102,6 +106,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "critlinks" {
+		if err := critlinksMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "spef critlinks:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(os.Args) > 1 && os.Args[1] == "catalog" {
 		if err := catalogMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "spef catalog:", err)
@@ -157,5 +168,5 @@ func known() []string {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef suite ... -shard I/N -o SHARD.jsonl [-checkpoint N]\n       spef merge [-format jsonl|csv|table] [-o FILE] SHARD.jsonl ...\n       spef serve [-addr HOST:PORT] [-load SPEC,...]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
+	fmt.Fprintf(os.Stderr, "usage: spef [-quick] [-workers N] <experiment>... | all\n       spef suite -spec FILE | -topologies T,... -routers R,... [flags]\n       spef suite ... -shard I/N -o SHARD.jsonl [-checkpoint N]\n       spef merge [-format jsonl|csv|table] [-o FILE] SHARD.jsonl ...\n       spef serve [-addr HOST:PORT] [-load SPEC,...]\n       spef critlinks -topology SPEC [-failures single|dual|srlg:file=F] [-router SPEC]\n       spef catalog [-markdown]\nexperiments: %v\n", known())
 }

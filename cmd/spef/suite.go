@@ -25,7 +25,7 @@ func suiteMain(args []string) error {
 		betas      = fs.String("betas", "", "comma-separated beta values for beta-configurable routers")
 		routers    = fs.String("routers", "", "comma-separated router specs (spef, invcap, peft, optimal, ospf-ls, ospf-ls-robust, spef:iters=N, ospf-ls:iters=N,seed=S; see `spef catalog`)")
 		metrics    = fs.String("metrics", "", "comma-separated metric names (default: mlu,utility,mean_util,p95_util,mm1_delay,max_stretch)")
-		failures   = fs.Bool("failures", false, "add single-link-failure variants of every topology")
+		failures   failureFlag
 		iters      = fs.Int("iters", 0, "Algorithm 1 iteration budget for optimizing routers (0 = automatic)")
 		workers    = fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
 		reuse      = fs.Bool("reuse-weights", false, "optimize each (topology, failure, router) group once — at the first load and, for temporal demand sequences, the first step — and re-simulate those weights across the load/time axes")
@@ -37,12 +37,20 @@ func suiteMain(args []string) error {
 		shard      = fs.String("shard", "", "run only shard i/n of the sweep (0-based, e.g. 0/4) into the -o file, checkpointed for resume; combine shard files with `spef merge`")
 		checkpoint = fs.Int("checkpoint", spef.DefaultCheckpointEvery, "with -shard: flush and checkpoint the shard file every N completed cells (a killed shard loses at most N cells)")
 	)
+	fs.Var(&failures, "failures", "add failure variants of every topology: bare -failures (or =single) for the single-link axis, =dual for pairs of links, =srlg:file=GROUPS.json for shared-risk groups")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: spef suite -spec FILE | -topologies T,... -routers R,... [flags]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Flag parsing stops at the first positional argument, so a typo
+	// like "-failures dual" (boolean-style flag; the value needs
+	// "-failures=dual") would silently run the wrong sweep and drop
+	// every flag after it. Refuse leftovers instead.
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (boolean-style flags take values as -flag=value, e.g. -failures=dual)", fs.Arg(0))
 	}
 
 	suite := &spef.Suite{}
@@ -79,8 +87,18 @@ func suiteMain(args []string) error {
 			return fmt.Errorf("-betas: %w", err)
 		}
 	}
-	if *failures {
-		suite.SingleLinkFailures = true
+	if failures.set {
+		suite.SingleLinkFailures = false
+		suite.Failures = ""
+		switch failures.spec {
+		case "":
+		case "single":
+			// The historic boolean axis: bare -failures and
+			// -failures=single run identical cells and hash identically.
+			suite.SingleLinkFailures = true
+		default:
+			suite.Failures = failures.spec
+		}
 	}
 	if *iters > 0 {
 		suite.MaxIterations = *iters
@@ -206,16 +224,46 @@ func runOutcome(ctx context.Context, failed int) error {
 	return nil
 }
 
+// failureFlag is the -failures flag: boolean-style bare "-failures"
+// keeps the historic single-link axis, while "-failures=dual" and
+// "-failures=srlg:file=..." select the multi-failure sets.
+type failureFlag struct {
+	spec string
+	set  bool
+}
+
+func (f *failureFlag) String() string { return f.spec }
+
+// IsBoolFlag lets bare "-failures" parse without a value (the flag
+// package hands Set the literal "true").
+func (f *failureFlag) IsBoolFlag() bool { return true }
+
+func (f *failureFlag) Set(v string) error {
+	f.set = true
+	switch v {
+	case "true":
+		f.spec = "single"
+	case "false":
+		f.spec = ""
+	default:
+		f.spec = v
+	}
+	return nil
+}
+
 func splitList(s string) []string {
 	var out []string
 	for _, v := range strings.Split(s, ",") {
 		// Parameterized specs embed commas ("rand:n=50,links=242"):
-		// fragments that are pure key=value pairs re-attach to the
-		// previous spec.
+		// fragments that open with a key=value pair — no colon, or the
+		// first '=' before the first ':' ("accept=tabu:tenure=8") —
+		// re-attach to the previous spec. New specs are a bare name or
+		// open with "name:".
 		if v = strings.TrimSpace(v); v == "" {
 			continue
 		}
-		if len(out) > 0 && strings.Contains(v, "=") && !strings.Contains(v, ":") {
+		eq, colon := strings.IndexByte(v, '='), strings.IndexByte(v, ':')
+		if len(out) > 0 && eq >= 0 && (colon < 0 || eq < colon) {
 			out[len(out)-1] += "," + v
 			continue
 		}

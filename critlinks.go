@@ -1,0 +1,303 @@
+package spef
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/routing"
+	"repro/internal/scenario"
+)
+
+// CriticalLinksOptions tunes RankCriticalLinks.
+type CriticalLinksOptions struct {
+	// Failures selects the failure units to rank ("" or "single",
+	// "dual", "srlg:file=PATH" — see ResolveFailureSet). "single" ranks
+	// every duplex pair by the MLU regret of its own failure; "dual"
+	// ranks every duplex pair by its worst pairing (its own failure, or
+	// its failure combined with any one other pair's); "srlg" ranks the
+	// file's shared-risk groups.
+	Failures string
+	// Weights is the OSPF/ECMP weight vector the analysis re-routes on
+	// each degraded variant, in intact link IDs (nil selects InvCap —
+	// the deployed Cisco default). Router, when non-nil, overrides it.
+	Weights []float64
+	// Router, when non-nil, supplies the weights by running the router
+	// once on the intact topology and extracting its ECMP weight vector.
+	// Only single-weight-vector ECMP schemes qualify (invcap/ospf and
+	// the ospf-ls families); others return an error.
+	Router Router
+	// Workers bounds concurrent variant evaluations (<= 0 selects
+	// GOMAXPROCS). Results are identical for any worker count.
+	Workers int
+}
+
+// CriticalLink is one ranked failure unit: a duplex pair (single/dual
+// modes) or an SRLG group, scored by the MLU regret its failure
+// inflicts on the deployed weights.
+type CriticalLink struct {
+	// Rank is the 1-based position after sorting by regret, descending
+	// (ties keep enumeration order).
+	Rank int
+	// Link names the unit: "A-B" for a duplex pair, the group name for
+	// an SRLG.
+	Link string
+	// BaseMLU is the intact topology's MLU under the deployed weights —
+	// identical on every row, carried per row so JSONL lines are
+	// self-contained.
+	BaseMLU float64
+	// MLU is the unit's failure MLU: the MLU after failing the unit
+	// (single/srlg), or the worst MLU over the unit's own failure and
+	// every pairing with one other duplex pair (dual). +Inf when the
+	// worst case strands a positive demand — an outage outranks any
+	// finite congestion.
+	MLU float64
+	// Regret is MLU - BaseMLU: the congestion the failure adds.
+	Regret float64
+	// Routable reports whether the worst-case variant kept every
+	// positive demand routable (false exactly when MLU is +Inf).
+	Routable bool
+	// WorstWith names the partner pair of the worst dual pairing ("" in
+	// single/srlg modes, and in dual mode when the unit's own failure is
+	// already the worst case).
+	WorstWith string
+	// Runtime is the unit's evaluation wall-clock time.
+	Runtime time.Duration
+}
+
+// RankCriticalLinks scores every failure unit of the topology by the
+// MLU regret the deployed weights suffer under its failure and returns
+// the units sorted by regret, descending — Balon & Leduc's observation
+// that links are not equally critical, as an analysis surface. Each
+// variant is an incremental delta-engine event on a warm routing state
+// (fail, read MLU, restore), not a from-scratch evaluation, which is
+// what makes the dual mode's O(pairs^2) sweep affordable. Units whose
+// failure strands a positive demand rank with +Inf regret: where the
+// scenario Grid must skip unroutable variants (no scheme can be
+// compared on them), a criticality ranking wants them on top.
+func RankCriticalLinks(ctx context.Context, n *Network, d *Demands, opts CriticalLinksOptions) ([]CriticalLink, error) {
+	if n == nil || d == nil {
+		return nil, fmt.Errorf("%w: nil network or demands", ErrBadInput)
+	}
+	w := opts.Weights
+	if opts.Router != nil {
+		routes, err := opts.Router.Routes(ctx, n, d)
+		if err != nil {
+			return nil, err
+		}
+		if routes.ecmpWeights == nil {
+			return nil, fmt.Errorf("%w: router %s records no single OSPF/ECMP weight vector to re-route on failure variants", ErrBadInput, routes.router)
+		}
+		w = routes.ecmpWeights
+	}
+	if w == nil {
+		w = routing.InvCapWeights(n.g)
+	}
+	spec := opts.Failures
+	if spec == "" {
+		spec = failureModeSingle
+	}
+	fset, err := ResolveFailureSet(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Failure units: duplex pairs (single and dual — dual ranks each
+	// pair by its worst pairing) or SRLG groups.
+	type unit struct {
+		label string
+		links []int
+	}
+	var units []unit
+	pairs := n.DuplexPairs()
+	switch fset.mode {
+	case failureModeSingle, failureModeDual:
+		units = make([]unit, len(pairs))
+		for i, p := range pairs {
+			units[i] = unit{label: pairLabel(n, p), links: []int{p[0], p[1]}}
+		}
+	case failureModeSRLG:
+		for _, grp := range fset.groups {
+			links, err := fset.groupLinks(n, grp)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, unit{label: grp.name, links: links})
+		}
+	}
+	if len(units) == 0 {
+		return nil, nil
+	}
+
+	// One warm engine per worker, checked in and out of a channel; every
+	// job restores the engine to the intact state before returning it,
+	// so engines are interchangeable and results deterministic.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	engines := make(chan *delta.Engine, workers)
+	var base float64
+	for i := 0; i < workers; i++ {
+		en, err := delta.NewEngine(n.g, d.m, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = en.Metrics().MLU
+		}
+		engines <- en
+	}
+
+	type outcome struct {
+		row CriticalLink
+		err error
+	}
+	job := func(ctx context.Context, i int) outcome {
+		start := time.Now()
+		row := CriticalLink{Link: units[i].label, BaseMLU: base}
+		en := <-engines
+		defer func() { engines <- en }()
+		fail := func(links []int) (float64, bool, error) {
+			if err := en.FailLinks(links...); err != nil {
+				// The failure strands a demand or isolates a node: an
+				// outage. The engine rolled itself back.
+				return math.Inf(1), false, nil
+			}
+			mlu := en.Metrics().MLU
+			if err := en.RestoreLinks(links...); err != nil {
+				return 0, false, err
+			}
+			return mlu, true, nil
+		}
+		mlu, routable, err := fail(units[i].links)
+		if err != nil {
+			return outcome{err: err}
+		}
+		worst, worstWith := mlu, ""
+		if fset.mode == failureModeDual && routable {
+			// Worst pairing: scan partners in enumeration order; the
+			// first unroutable partner is conclusive (+Inf beats any
+			// finite MLU), strict > keeps ties on the earliest partner.
+			for j := range units {
+				if j == i {
+					continue
+				}
+				m, ok, err := fail(append(append([]int(nil), units[i].links...), units[j].links...))
+				if err != nil {
+					return outcome{err: err}
+				}
+				if m > worst {
+					worst, worstWith = m, units[j].label
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		row.MLU = worst
+		row.Regret = worst - base
+		row.Routable = !math.IsInf(worst, 1)
+		row.WorstWith = worstWith
+		row.Runtime = time.Since(start)
+		return outcome{row: row}
+	}
+
+	outs := scenario.Run(ctx, len(units), opts.Workers, job,
+		func(i int) outcome { return outcome{err: ctx.Err()} }, nil)
+	rows := make([]CriticalLink, len(outs))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		rows[i] = o.row
+	}
+	sort.SliceStable(rows, func(a, b int) bool { return rows[a].Regret > rows[b].Regret })
+	for i := range rows {
+		rows[i].Rank = i + 1
+	}
+	return rows, nil
+}
+
+// groupLinks resolves one SRLG group's node-name link list into the
+// topology's link IDs, deduplicated, in file order.
+func (f *FailureSet) groupLinks(n *Network, grp srlgGroup) ([]int, error) {
+	type ends struct{ a, b int }
+	pairs := make(map[ends][2]int)
+	for _, p := range n.DuplexPairs() {
+		from, to, _ := n.Link(p[0])
+		pairs[ends{from, to}] = p
+		pairs[ends{to, from}] = p
+	}
+	drop := make([]int, 0, 2*len(grp.links))
+	seen := make(map[int]bool, 2*len(grp.links))
+	for _, lk := range grp.links {
+		a, ok := n.NodeByName(lk[0])
+		if !ok {
+			return nil, fmt.Errorf("%w: SRLG group %q (%s): unknown node %q", ErrBadInput, grp.name, f.file, lk[0])
+		}
+		b, ok := n.NodeByName(lk[1])
+		if !ok {
+			return nil, fmt.Errorf("%w: SRLG group %q (%s): unknown node %q", ErrBadInput, grp.name, f.file, lk[1])
+		}
+		p, ok := pairs[ends{a, b}]
+		if !ok {
+			return nil, fmt.Errorf("%w: SRLG group %q (%s): no duplex link %s-%s", ErrBadInput, grp.name, f.file, lk[0], lk[1])
+		}
+		for _, e := range p {
+			if !seen[e] {
+				seen[e] = true
+				drop = append(drop, e)
+			}
+		}
+	}
+	return drop, nil
+}
+
+// criticalLinkRecord is the JSONL row schema of WriteCriticalLinksJSONL
+// (jsonFloat spells non-finite values, matching the result sink).
+type criticalLinkRecord struct {
+	Rank      int       `json:"rank"`
+	Link      string    `json:"link"`
+	BaseMLU   jsonFloat `json:"base_mlu"`
+	MLU       jsonFloat `json:"mlu"`
+	Regret    jsonFloat `json:"regret"`
+	Routable  bool      `json:"routable"`
+	WorstWith string    `json:"worst_with,omitempty"`
+	RuntimeMS float64   `json:"runtime_ms"`
+}
+
+// WriteCriticalLinksJSONL renders a RankCriticalLinks result as one
+// JSON object per line — the `spef critlinks` output format, with
+// non-finite values spelled "nan"/"+inf"/"-inf" like the result sinks.
+func WriteCriticalLinksJSONL(w io.Writer, rows []CriticalLink) error {
+	for _, r := range rows {
+		line, err := json.Marshal(criticalLinkRecord{
+			Rank:      r.Rank,
+			Link:      r.Link,
+			BaseMLU:   jsonFloat(r.BaseMLU),
+			MLU:       jsonFloat(r.MLU),
+			Regret:    jsonFloat(r.Regret),
+			Routable:  r.Routable,
+			WorstWith: r.WorstWith,
+			RuntimeMS: float64(r.Runtime) / float64(time.Millisecond),
+		})
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

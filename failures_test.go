@@ -1,0 +1,395 @@
+package spef
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/delta"
+)
+
+// writeSRLGFile commits a JSON SRLG group file to a temp dir and
+// returns its path.
+func writeSRLGFile(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "srlg.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestResolveFailureSetModes(t *testing.T) {
+	if f, err := ResolveFailureSet(""); f != nil || err != nil {
+		t.Fatalf("empty spec = %v, %v, want nil, nil", f, err)
+	}
+	if f, err := ResolveFailureSet("  "); f != nil || err != nil {
+		t.Fatalf("blank spec = %v, %v, want nil, nil", f, err)
+	}
+	for _, mode := range []string{"single", "dual"} {
+		f, err := ResolveFailureSet(mode)
+		if err != nil {
+			t.Fatalf("ResolveFailureSet(%q): %v", mode, err)
+		}
+		if f.Mode() != mode {
+			t.Errorf("Mode() = %q, want %q", f.Mode(), mode)
+		}
+	}
+	// single and dual take no parameters.
+	if _, err := ResolveFailureSet("single:file=x"); !errors.Is(err, ErrBadInput) {
+		t.Errorf("single:file=x err = %v, want ErrBadInput", err)
+	}
+	p := writeSRLGFile(t, `{"groups":[{"name":"g1","links":[["v0","v1"]]}]}`)
+	f, err := ResolveFailureSet("srlg:file=" + p)
+	if err != nil {
+		t.Fatalf("srlg: %v", err)
+	}
+	if f.Mode() != "srlg" || len(f.groups) != 1 || f.groups[0].name != "g1" {
+		t.Errorf("srlg set = %+v", f)
+	}
+}
+
+func TestResolveFailureSetSRLGErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantSub string
+	}{
+		{"missing file param", "srlg", "needs file=PATH"},
+		{"unreadable file", "srlg:file=" + filepath.Join(t.TempDir(), "nope.json"), "no such file"},
+	}
+	for _, c := range cases {
+		_, err := ResolveFailureSet(c.spec)
+		if err == nil || !errors.Is(err, ErrBadInput) || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want ErrBadInput containing %q", c.name, err, c.wantSub)
+		}
+	}
+	for _, c := range []struct {
+		name, body, wantSub string
+	}{
+		{"not json", "nope", "parsing SRLG groups"},
+		{"unknown field", `{"groups":[{"name":"g","links":[["a","b"]],"extra":1}]}`, "parsing SRLG groups"},
+		{"no groups", `{"groups":[]}`, "no SRLG groups"},
+		{"unnamed group", `{"groups":[{"links":[["a","b"]]}]}`, "has no name"},
+		{"duplicate name", `{"groups":[{"name":"g","links":[["a","b"]]},{"name":"g","links":[["a","b"]]}]}`, `duplicate SRLG group "g"`},
+		{"empty group", `{"groups":[{"name":"g","links":[]}]}`, `SRLG group "g" has no links`},
+	} {
+		_, err := ResolveFailureSet("srlg:file=" + writeSRLGFile(t, c.body))
+		if err == nil || !errors.Is(err, ErrBadInput) || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want ErrBadInput containing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestUnknownFailureSetErrorTextUnchanged pins the unknown-spec error
+// byte for byte, matching the router/demand/topology registries: the
+// full inventory plus a did-you-mean hint for near misses.
+func TestUnknownFailureSetErrorTextUnchanged(t *testing.T) {
+	_, err := ResolveFailureSet("duel")
+	if err == nil {
+		t.Fatal("ResolveFailureSet(duel) succeeded, want error")
+	}
+	want := "spef: bad input: unknown failure set \"duel\"" +
+		suggest("duel", docNames(failureDocs)) +
+		" (known: " + strings.Join(specNames(failureDocs), ", ") + ")"
+	if got := err.Error(); got != want {
+		t.Fatalf("unknown-failure-set error text changed:\n got: %s\nwant: %s", got, want)
+	}
+	// The near-miss hint must actually fire, and the inventory must name
+	// every mode including srlg's parameterized form.
+	if !strings.Contains(err.Error(), `did you mean "dual"?`) {
+		t.Errorf("error %q missing dual suggestion", err)
+	}
+	for _, sub := range []string{"single", "dual", "srlg:..."} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error %q missing inventory entry %q", err, sub)
+		}
+	}
+	// Cached inventory: repeated bad requests render identical text.
+	_, err2 := ResolveFailureSet("duel")
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second resolve rendered different text:\n first: %v\nsecond: %v", err, err2)
+	}
+	// Parameters on an unknown mode still report the unknown mode.
+	_, err = ResolveFailureSet("tripple:file=x")
+	if err == nil || !strings.Contains(err.Error(), `unknown failure set "tripple:file=x"`) {
+		t.Errorf("parameterized unknown spec err = %v", err)
+	}
+}
+
+// ring5SRLG writes an SRLG file naming two groups of gridNetwork's
+// links: a two-link conduit and a single-link group, plus one group
+// whose loss strands demand (the grid must skip it).
+func ring5SRLG(t *testing.T) string {
+	t.Helper()
+	return writeSRLGFile(t, `{"groups":[
+		{"name":"conduit-a","links":[["v0","v1"],["v1","v2"]]},
+		{"name":"spur","links":[["v1","v3"]]},
+		{"name":"cut-v4","links":[["v3","v4"],["v4","v0"]]}
+	]}`)
+}
+
+// TestGridDualFailureVariants checks the dual axis's deterministic
+// expansion: all routable singles first (in duplex-pair order), then
+// routable unordered pairs in (i, j>i) order, with "A-B+C-D" labels.
+func TestGridDualFailureVariants(t *testing.T) {
+	n, d := gridNetwork(t)
+	fset, err := ResolveFailureSet("dual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := fset.variants(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles, err := failureVariants(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) <= len(singles) {
+		t.Fatalf("dual expansion has %d variants, want more than the %d singles", len(vs), len(singles))
+	}
+	for i, s := range singles {
+		if vs[i].failedLink != s.failedLink {
+			t.Fatalf("variant %d = %q, want single %q first", i, vs[i].failedLink, s.failedLink)
+		}
+	}
+	duals := vs[len(singles):]
+	seen := map[string]bool{}
+	for _, v := range duals {
+		parts := strings.Split(v.failedLink, "+")
+		if len(parts) != 2 {
+			t.Fatalf("dual label %q is not A-B+C-D", v.failedLink)
+		}
+		if seen[v.failedLink] {
+			t.Fatalf("duplicate dual variant %q", v.failedLink)
+		}
+		seen[v.failedLink] = true
+		// Each dual variant drops exactly two duplex pairs.
+		if got := n.NumLinks() - v.net.NumLinks(); got != 4 {
+			t.Errorf("variant %q dropped %d directed links, want 4", v.failedLink, got)
+		}
+	}
+	// 7 duplex pairs -> 21 unordered pairs; ring5's chords keep most
+	// dual failures routable but not all (e.g. both links at a degree-2
+	// node's only neighbors), so the routability screen must bite.
+	if len(duals) >= 21 {
+		t.Errorf("all 21 dual variants survived screening, want some skipped (got %d)", len(duals))
+	}
+	// Determinism: a second expansion is identical.
+	vs2, err := fset.variants(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs2) != len(vs) {
+		t.Fatalf("re-expansion produced %d variants, want %d", len(vs2), len(vs))
+	}
+	for i := range vs {
+		if vs[i].failedLink != vs2[i].failedLink {
+			t.Fatalf("re-expansion variant %d = %q, want %q", i, vs2[i].failedLink, vs[i].failedLink)
+		}
+	}
+}
+
+// TestGridSRLGVariants: one variant per routable group, in file order,
+// labeled by group name; groups that strand demand are skipped; bad
+// node or link references fail loudly.
+func TestGridSRLGVariants(t *testing.T) {
+	n, d := gridNetwork(t)
+	fset, err := ResolveFailureSet("srlg:file=" + ring5SRLG(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := fset.variants(n, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, v := range vs {
+		labels = append(labels, v.failedLink)
+	}
+	// cut-v4 severs both of v4's links; demand 2->4 strands, so the
+	// group is screened out.
+	if got, want := strings.Join(labels, ","), "conduit-a,spur"; got != want {
+		t.Fatalf("srlg variants = %s, want %s", got, want)
+	}
+	if got := n.NumLinks() - vs[0].net.NumLinks(); got != 4 {
+		t.Errorf("conduit-a dropped %d directed links, want 4", got)
+	}
+	if got := n.NumLinks() - vs[1].net.NumLinks(); got != 2 {
+		t.Errorf("spur dropped %d directed links, want 2", got)
+	}
+
+	for _, c := range []struct{ name, body, wantSub string }{
+		{"unknown node", `{"groups":[{"name":"g","links":[["v0","nope"]]}]}`, `unknown node "nope"`},
+		{"no such link", `{"groups":[{"name":"g","links":[["v0","v3"]]}]}`, "no duplex link v0-v3"},
+	} {
+		fset, err := ResolveFailureSet("srlg:file=" + writeSRLGFile(t, c.body))
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", c.name, err)
+		}
+		if _, err := fset.variants(n, d); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: variants err = %v, want %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestGridFailuresSpecSupersedesBool: Grid.Failures="single" expands
+// exactly the cells SingleLinkFailures=true does, and takes precedence
+// over the boolean when both are set.
+func TestGridFailuresSpecSupersedesBool(t *testing.T) {
+	n, d := gridNetwork(t)
+	boolGrid := Grid{
+		Topologies:         []Topology{{Name: "ring5", Network: n, Demands: d}},
+		Routers:            []Router{OSPF(nil)},
+		SingleLinkFailures: true,
+	}
+	specGrid := boolGrid
+	specGrid.Failures = "single"
+	a, err := boolGrid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := specGrid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("spec grid has %d cells, bool grid %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("cell %d: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+	}
+	dualGrid := boolGrid // SingleLinkFailures still true
+	dualGrid.Failures = "dual"
+	c, err := dualGrid.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) <= len(a) {
+		t.Fatalf("dual grid has %d cells, want more than single's %d", len(c), len(a))
+	}
+	// A bad spec fails the whole expansion.
+	bad := boolGrid
+	bad.Failures = "duel"
+	if _, err := bad.Scenarios(); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad failure spec err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestDeltaParityOnEveryMultiFailureVariant is the delta-engine parity
+// property over the new failure sets: for every dual and SRLG variant
+// the grid enumerates, failing the dropped links as one warm FailLinks
+// event must produce metrics bit-identical to evaluating the variant
+// topology from scratch — the equivalence RankCriticalLinks and the
+// fail_mlu metric rest on.
+func TestDeltaParityOnEveryMultiFailureVariant(t *testing.T) {
+	n, d := gridNetwork(t)
+	w := make([]float64, n.NumLinks())
+	for i := range w {
+		w[i] = 1 + float64(i%4)
+	}
+	for _, spec := range []string{"dual", "srlg:file=" + ring5SRLG(t)} {
+		fset, err := ResolveFailureSet(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs, err := fset.variants(n, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) == 0 {
+			t.Fatalf("%s: no variants to check", spec)
+		}
+		en, err := delta.NewEngine(n.g, d.m, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vs {
+			// Recover the dropped intact link IDs from the variant's keep
+			// mapping.
+			kept := make(map[int]bool, len(v.keep))
+			for _, old := range v.keep {
+				kept[old] = true
+			}
+			var drop []int
+			for e := 0; e < n.NumLinks(); e++ {
+				if !kept[e] {
+					drop = append(drop, e)
+				}
+			}
+			if err := en.FailLinks(drop...); err != nil {
+				t.Fatalf("%s/%s: FailLinks(%v): %v", spec, v.failedLink, drop, err)
+			}
+			warm := en.Metrics()
+
+			wf := make([]float64, v.net.NumLinks())
+			for newID, oldID := range v.keep {
+				wf[newID] = w[oldID]
+			}
+			cold, err := delta.NewEvaluator(v.net.g, d.m, wf, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: from-scratch: %v", spec, v.failedLink, err)
+			}
+			if got, want := warm, cold.Metrics(); got != want {
+				t.Errorf("%s/%s: warm metrics %+v, from-scratch %+v", spec, v.failedLink, got, want)
+			}
+			if err := en.RestoreLinks(drop...); err != nil {
+				t.Fatalf("%s/%s: RestoreLinks: %v", spec, v.failedLink, err)
+			}
+		}
+	}
+}
+
+// TestSuiteFailuresField covers the declarative plumbing: the JSON
+// field round-trips through Grid (bad specs fail at Grid build), and
+// the field stays out of the encoding when empty so existing suite
+// hashes cannot move.
+func TestSuiteFailuresField(t *testing.T) {
+	s := &Suite{
+		Topologies: []string{"fig1"},
+		Routers:    []string{"invcap"},
+		Failures:   "dual",
+	}
+	g, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Failures != "dual" {
+		t.Fatalf("grid failures = %q", g.Failures)
+	}
+	s.Failures = "duel"
+	if _, err := s.Grid(); err == nil || !strings.Contains(err.Error(), `suite failures "duel"`) {
+		t.Fatalf("bad suite failures err = %v", err)
+	}
+
+	base := &Suite{Topologies: []string{"fig1"}, Routers: []string{"invcap"}}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := &Suite{Topologies: []string{"fig1"}, Routers: []string{"invcap"}, SingleLinkFailures: true}
+	hLegacy, err := legacy.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual := &Suite{Topologies: []string{"fig1"}, Routers: []string{"invcap"}, Failures: "dual"}
+	hDual, err := dual.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == hDual || hLegacy == hDual {
+		t.Error("failure-set spec does not move the suite hash")
+	}
+	// ParseSuite round trip keeps the field.
+	data := []byte(`{"topologies":["fig1"],"routers":["invcap"],"failures":"single"}`)
+	s2, err := ParseSuite(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Failures != "single" {
+		t.Fatalf("parsed failures = %q", s2.Failures)
+	}
+}

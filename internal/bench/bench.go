@@ -252,6 +252,16 @@ func Run(opts Options) (*Report, error) {
 				k.FastLabel, k.Fast.NsPerOp, k.Fast.AllocsPerOp, k.Speedup)
 		}
 	}
+	rks, rpar, err := robustSampleBench(budget)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range rks {
+		rep.Kernels = append(rep.Kernels, k)
+		logf("%-28s %-10s %12.0f ns/op %8.1f allocs/op | %-10s %12.0f ns/op %8.1f allocs/op | %5.2fx",
+			k.Name, k.BaseLabel, k.Base.NsPerOp, k.Base.AllocsPerOp,
+			k.FastLabel, k.Fast.NsPerOp, k.Fast.AllocsPerOp, k.Speedup)
+	}
 	par1, err := parityChecks(ins[0])
 	if err != nil {
 		return nil, err
@@ -262,6 +272,7 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	rep.Parity = append(rep.Parity, pub...)
+	rep.Parity = append(rep.Parity, rpar...)
 	for _, p := range rep.Parity {
 		logf("parity %-32s bit-identical=%v (%s)", p.Name, p.BitIdentical, p.Detail)
 	}

@@ -175,6 +175,73 @@ func (en *Engine) LinkUp(link int) error {
 	return en.flip(link, false)
 }
 
+// FailLinks fails a set of intact links as one event: the whole set is
+// validated, then the evaluator is rebound once onto the surviving
+// topology — the batched form of LinkDown that SRLG groups and dual
+// failures apply per variant instead of paying one remap per link. A
+// set that would strand a positive demand is rejected with the previous
+// state restored. An empty set is a no-op.
+func (en *Engine) FailLinks(links ...int) error { return en.flipAll(links, true) }
+
+// RestoreLinks restores a set of failed links under their recorded
+// weights as one event — the batched inverse of FailLinks.
+func (en *Engine) RestoreLinks(links ...int) error { return en.flipAll(links, false) }
+
+// flipAll toggles a set of links' failure state with one remap,
+// rolling back the applied prefix on rejection so a refused event
+// leaves the state untouched.
+func (en *Engine) flipAll(links []int, toDown bool) error {
+	applied := 0
+	var err error
+	for _, l := range links {
+		if err = en.checkLink(l); err != nil {
+			break
+		}
+		if en.down[l] == toDown {
+			if toDown {
+				err = fmt.Errorf("%w: link %d is already down", ErrBadInput, l)
+			} else {
+				err = fmt.Errorf("%w: link %d is not down", ErrBadInput, l)
+			}
+			break
+		}
+		en.down[l] = toDown
+		if toDown {
+			en.ndown++
+		} else {
+			en.ndown--
+		}
+		applied++
+	}
+	remapped := false
+	if err == nil {
+		if applied == 0 {
+			return nil
+		}
+		if err = en.remap(); err == nil {
+			return nil
+		}
+		remapped = true
+	}
+	for _, l := range links[:applied] {
+		en.down[l] = !toDown
+		if toDown {
+			en.ndown--
+		} else {
+			en.ndown++
+		}
+	}
+	// Validation failures never touched the evaluator; a failed remap
+	// did, so rebind it onto the restored down-set.
+	if remapped {
+		if rerr := en.remap(); rerr != nil {
+			// Cannot happen: the pre-event state evaluated successfully.
+			return fmt.Errorf("delta: state restore after rejected event failed: %v (event: %w)", rerr, err)
+		}
+	}
+	return err
+}
+
 // flip toggles one link's failure state and remaps, rolling back on
 // rejection so a refused event leaves the state untouched.
 func (en *Engine) flip(link int, toDown bool) error {

@@ -59,6 +59,21 @@ type Options struct {
 	// the intact topology only, configure no Failures). Ignored without
 	// Failures.
 	FailurePenalty float64
+	// Accept selects the move-acceptance rule. "" or "hill" is strict
+	// hill climbing: only improving moves are applied, with random
+	// multi-link perturbations after three stale rounds (the
+	// Fortz-Thorup default). "tabu" applies the best candidate of every
+	// round even when it worsens the score, marks the changed link tabu
+	// for TabuTenure rounds, and admits a tabu move only by aspiration
+	// (it beats the best score ever seen); when every candidate is tabu
+	// without aspiration the overall best is taken anyway. The best-ever
+	// vector is tracked separately under both rules, so tabu never
+	// returns a worse result than its own trajectory found.
+	Accept string
+	// TabuTenure is the number of rounds a just-changed link stays tabu
+	// (0 selects the default 8; negative is an error). Ignored unless
+	// Accept is "tabu".
+	TabuTenure int
 }
 
 // Result is the outcome of a Search.
@@ -94,8 +109,10 @@ func (s *state) mapLink(e int) int {
 // Search runs Fortz-Thorup local search over integer link weights:
 // round-based hill climbing over single-link weight changes with
 // deterministic parallel candidate scoring and random multi-link
-// perturbations on plateaus. Cancelling ctx aborts the search with an
-// error wrapping the context's error.
+// perturbations on plateaus — or, with Options.Accept "tabu",
+// best-of-round tabu acceptance over the same neighborhoods.
+// Cancelling ctx aborts the search with an error wrapping the
+// context's error.
 func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Options) (*Result, error) {
 	if opts.MaxEvals <= 0 {
 		opts.MaxEvals = 2000
@@ -114,6 +131,19 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 	}
 	if opts.FailurePenalty == 0 {
 		opts.FailurePenalty = 1
+	}
+	switch opts.Accept {
+	case "", "hill", "tabu":
+	default:
+		return nil, fmt.Errorf("%w: unknown acceptance rule %q (want hill or tabu)", ErrBadInput, opts.Accept)
+	}
+	if opts.TabuTenure < 0 {
+		return nil, fmt.Errorf("%w: negative TabuTenure %d", ErrBadInput, opts.TabuTenure)
+	}
+	tabu := opts.Accept == "tabu"
+	tenure := opts.TabuTenure
+	if tenure == 0 {
+		tenure = 8
 	}
 	w0 := opts.InitWeights
 	if w0 == nil {
@@ -218,6 +248,13 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 	evals := 1
 	stale := 0
 	cands := make([]candidate, 0, opts.Neighborhood)
+	// Tabu bookkeeping: tabuUntil[link] is the first round the link may
+	// be changed again without aspiration.
+	var tabuUntil []int
+	roundNo := 0
+	if tabu {
+		tabuUntil = make([]int, g.NumLinks())
+	}
 
 	for evals < opts.MaxEvals {
 		if err := ctx.Err(); err != nil {
@@ -258,11 +295,48 @@ func Search(ctx context.Context, g *graph.Graph, tm *traffic.Matrix, opts Option
 			c.score = scoreOf(costs)
 		})
 		evals += len(cands)
-		bestK := -1
 		for k := range cands {
 			if cands[k].err != nil {
 				return nil, cands[k].err
 			}
+		}
+		if tabu {
+			// Pick the best admissible candidate: not tabu, or tabu but
+			// beating the best score ever seen (aspiration). When all are
+			// inadmissible, take the overall best — the standard all-tabu
+			// escape. The move is applied unconditionally; worsening moves
+			// are how tabu search leaves local minima, and the best-ever
+			// vector below keeps the final answer safe.
+			roundNo++
+			bestK := -1
+			for k := range cands {
+				if tabuUntil[cands[k].link] > roundNo && cands[k].score >= bestScore-1e-12 {
+					continue
+				}
+				if bestK < 0 || cands[k].score < cands[bestK].score {
+					bestK = k
+				}
+			}
+			if bestK < 0 {
+				for k := range cands {
+					if bestK < 0 || cands[k].score < cands[bestK].score {
+						bestK = k
+					}
+				}
+			}
+			if err := apply(cands[bestK].link, cands[bestK].w); err != nil {
+				return nil, err
+			}
+			tabuUntil[cands[bestK].link] = roundNo + tenure
+			cur = currentScore()
+			if cur < bestScore {
+				bestScore = cur
+				intact.CopyWeights(best)
+			}
+			continue
+		}
+		bestK := -1
+		for k := range cands {
 			if bestK < 0 || cands[k].score < cands[bestK].score {
 				bestK = k
 			}

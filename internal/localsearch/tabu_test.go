@@ -1,0 +1,115 @@
+package localsearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestSearchTabuNeverWorseThanStart: tabu acceptance applies worsening
+// moves by design, but the best-ever vector is tracked separately, so
+// the returned result can never be costlier than the initial weights.
+func TestSearchTabuNeverWorseThanStart(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g, tm := randomInstance(t, seed, 11, 40)
+		unit := make([]float64, g.NumLinks())
+		for i := range unit {
+			unit[i] = 1
+		}
+		startCost, _ := ospfCost(t, g, tm, unit)
+		res, err := Search(context.Background(), g, tm, Options{MaxEvals: 400, Seed: seed, Accept: "tabu"})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Cost > startCost {
+			t.Fatalf("seed %d: tabu returned cost %v > initial %v", seed, res.Cost, startCost)
+		}
+		// The reported cost must be the production engine's evaluation of
+		// the returned weights — same contract as hill climbing.
+		got, _ := ospfCost(t, g, tm, res.Weights)
+		if got != res.Cost {
+			t.Fatalf("seed %d: reported cost %v, OSPF evaluates to %v", seed, res.Cost, got)
+		}
+	}
+}
+
+// TestSearchTabuDeterministicAcrossWorkers: tabu rounds score their
+// neighborhoods on the worker pool too; the trajectory must be
+// bit-identical sequential vs parallel.
+func TestSearchTabuDeterministicAcrossWorkers(t *testing.T) {
+	g, tm := randomInstance(t, 19, 10, 36)
+	run := func() *Result {
+		res, err := Search(context.Background(), g, tm, Options{
+			MaxEvals: 300, Seed: 5, Neighborhood: 8, Accept: "tabu", TabuTenure: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prev := par.SetExtraWorkers(0)
+	seq := run()
+	par.SetExtraWorkers(8)
+	pll := run()
+	par.SetExtraWorkers(prev)
+	if seq.Cost != pll.Cost || seq.Score != pll.Score || seq.Evals != pll.Evals {
+		t.Fatalf("sequential (cost=%v score=%v evals=%d) != parallel (cost=%v score=%v evals=%d)",
+			seq.Cost, seq.Score, seq.Evals, pll.Cost, pll.Score, pll.Evals)
+	}
+	for e := range seq.Weights {
+		if seq.Weights[e] != pll.Weights[e] {
+			t.Fatalf("weight of link %d: sequential %v, parallel %v", e, seq.Weights[e], pll.Weights[e])
+		}
+	}
+}
+
+// TestSearchTabuDiffersFromHill: over a handful of instances and
+// seeds, tabu must explore a different trajectory than hill climbing at
+// least once (if the two rules always collapsed into one another, the
+// accept option would be dead). Any single (instance, seed) pair may
+// legitimately coincide — both track the same best-ever vector — so the
+// assertion is over the whole set.
+func TestSearchTabuDiffersFromHill(t *testing.T) {
+	differed := false
+	for seed := int64(1); seed <= 5 && !differed; seed++ {
+		g, tm := randomInstance(t, 23+seed, 12, 44)
+		hill, err := Search(context.Background(), g, tm, Options{MaxEvals: 400, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabu, err := Search(context.Background(), g, tm, Options{MaxEvals: 400, Seed: seed, Accept: "tabu"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hill.Score != tabu.Score {
+			differed = true
+			break
+		}
+		for e := range hill.Weights {
+			if hill.Weights[e] != tabu.Weights[e] {
+				differed = true
+				break
+			}
+		}
+	}
+	if !differed {
+		t.Error("tabu and hill produced identical results on every instance — acceptance rule has no effect")
+	}
+}
+
+// TestSearchAcceptValidation pins the option errors.
+func TestSearchAcceptValidation(t *testing.T) {
+	g, tm := randomInstance(t, 3, 8, 24)
+	if _, err := Search(context.Background(), g, tm, Options{Accept: "simulated-annealing"}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown accept err = %v, want ErrBadInput", err)
+	}
+	if _, err := Search(context.Background(), g, tm, Options{Accept: "tabu", TabuTenure: -1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative tenure err = %v, want ErrBadInput", err)
+	}
+	// "hill" is the explicit spelling of the default.
+	if _, err := Search(context.Background(), g, tm, Options{MaxEvals: 50, Accept: "hill"}); err != nil {
+		t.Errorf("accept=hill: %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package spef
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 
 	"repro/internal/localsearch"
 	"repro/internal/routing"
@@ -10,8 +12,10 @@ import (
 
 // Local-search router display names.
 const (
-	routerNameOSPFLS       = "OSPF-LS"
-	routerNameOSPFLSRobust = "OSPF-LS-robust"
+	routerNameOSPFLS           = "OSPF-LS"
+	routerNameOSPFLSRobust     = "OSPF-LS-robust"
+	routerNameOSPFLSTabu       = "OSPF-LS-tabu"
+	routerNameOSPFLSRobustTabu = "OSPF-LS-robust-tabu"
 )
 
 // LocalSearchOptions tunes the OSPFLocalSearch router. Zero values
@@ -36,6 +40,30 @@ type LocalSearchOptions struct {
 	// in the robust score (> 0; 0 selects the default 1). Ignored
 	// without Robust.
 	FailurePenalty float64
+	// SampleFailures, with Robust, caps the number of failure variants
+	// scored per candidate: k distinct variants are drawn once per
+	// optimization (seeded by SampleSeed, on the coordinating goroutine,
+	// so the draw is independent of worker count) from the routable
+	// single-failure set, kept in enumeration order, and the robust
+	// score averages over the sample. 0 scores every variant; k >= the
+	// variant count is bit-identical to exhaustive (the sample becomes
+	// the identity selection); negative is an error. Sampling is what
+	// lets robust search scale to 100+-link topologies, where the
+	// exhaustive variant set multiplies every candidate evaluation by
+	// the link count.
+	SampleFailures int
+	// SampleSeed seeds the failure-variant sample (default 0). Ignored
+	// unless Robust is set and SampleFailures > 0.
+	SampleSeed int64
+	// Accept selects the move-acceptance rule: "" or "hill" for strict
+	// hill climbing with plateau perturbations (the Fortz-Thorup
+	// default), "tabu" for best-of-round tabu acceptance (see
+	// internal/localsearch Options.Accept). Tabu variants carry a
+	// "-tabu" name suffix so both rules can share a grid.
+	Accept string
+	// TabuTenure is the number of rounds a just-changed link stays tabu
+	// (0 selects the default 8). Ignored unless Accept is "tabu".
+	TabuTenure int
 }
 
 // OSPFLocalSearch returns Fortz-Thorup local-search optimized OSPF as a
@@ -54,8 +82,13 @@ func OSPFLocalSearch(opts LocalSearchOptions) Router { return ospfLSRouter{opts:
 type ospfLSRouter struct{ opts LocalSearchOptions }
 
 func (r ospfLSRouter) Name() string {
-	if r.opts.Robust {
+	switch {
+	case r.opts.Robust && r.opts.Accept == "tabu":
+		return routerNameOSPFLSRobustTabu
+	case r.opts.Robust:
 		return routerNameOSPFLSRobust
+	case r.opts.Accept == "tabu":
+		return routerNameOSPFLSTabu
 	}
 	return routerNameOSPFLS
 }
@@ -64,11 +97,16 @@ func (r ospfLSRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Rout
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("spef: %s routes canceled: %w", r.Name(), err)
 	}
+	if r.opts.SampleFailures < 0 {
+		return nil, fmt.Errorf("%w: negative SampleFailures %d", ErrBadInput, r.opts.SampleFailures)
+	}
 	opts := localsearch.Options{
 		MaxEvals:       r.opts.MaxEvals,
 		WeightMax:      r.opts.WeightMax,
 		Seed:           r.opts.Seed,
 		FailurePenalty: r.opts.FailurePenalty,
+		Accept:         r.opts.Accept,
+		TabuTenure:     r.opts.TabuTenure,
 		InitWeights:    routing.InvCapWeights(n.g),
 	}
 	if r.opts.Robust {
@@ -88,6 +126,9 @@ func (r ospfLSRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Rout
 				opts.Failures = append(opts.Failures, localsearch.Failure{G: n2.g, Keep: keep})
 			}
 		}
+		if r.opts.SampleFailures > 0 {
+			opts.Failures = sampleFailures(opts.Failures, r.opts.SampleFailures, r.opts.SampleSeed)
+		}
 	}
 	res, err := localsearch.Search(ctx, n.g, d.m, opts)
 	if err != nil {
@@ -97,15 +138,49 @@ func (r ospfLSRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Rout
 	if err != nil {
 		return nil, err
 	}
+	w := append([]float64(nil), res.Weights...)
 	return &Routes{
 		router: r.Name(),
 		net:    n,
 		dags:   o.DAGs,
 		splits: o.Splits,
 		// Record the optimized weights so the scenario engine's
-		// weight-reuse cache can re-simulate them across load factors.
-		weights: append([]float64(nil), res.Weights...),
+		// weight-reuse cache can re-simulate them across load factors,
+		// and as the ECMP vector failure analysis re-routes on degraded
+		// variants.
+		weights:     w,
+		ecmpWeights: w,
 	}, nil
+}
+
+// sampleFailures draws k distinct failure variants from the full list,
+// deterministically for the seed: a partial Fisher-Yates shuffle
+// selects the indices, which are then re-sorted into enumeration order.
+// k >= len(all) selects every index, so the sorted sample reproduces
+// the exhaustive list exactly — the bitwise sampled-equals-exhaustive
+// property the tests pin. The draw happens once, on the calling
+// goroutine, which is what keeps sampled-robust trajectories identical
+// for any candidate-scoring worker count.
+func sampleFailures(all []localsearch.Failure, k int, seed int64) []localsearch.Failure {
+	if k >= len(all) {
+		k = len(all)
+	}
+	idx := make([]int, len(all))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	sel := idx[:k]
+	sort.Ints(sel)
+	out := make([]localsearch.Failure, k)
+	for i, ix := range sel {
+		out[i] = all[ix]
+	}
+	return out
 }
 
 func (r ospfLSRouter) reusable() bool { return true }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/delta"
 	"repro/internal/graph"
 	"repro/internal/objective"
 )
@@ -39,6 +40,7 @@ const (
 	MetricMaxStretch      = "max_stretch"
 	MetricFortz           = "fortz"
 	MetricFortzNorm       = "fortz_norm"
+	MetricFailMLU         = "fail_mlu"
 )
 
 // funcMetric adapts a function to the Metric interface.
@@ -236,6 +238,46 @@ func MaxStretchMetric() Metric {
 	}}
 }
 
+// WorstFailureMLUMetric returns the worst maximum link utilization the
+// cell's deployed weights suffer across the intact state and every
+// single duplex-pair failure: per pair, the routes' OSPF/ECMP weight
+// vector is re-routed on the surviving topology via the delta engine
+// and the largest MLU wins. +Inf when some failure strands a positive
+// demand — the regret surface RankCriticalLinks sorts, available here
+// as a plain per-cell metric so suite sweeps can tabulate it. It
+// requires a single-weight-vector ECMP scheme (invcap/ospf, ospf-ls
+// families); schemes without one (spef, peft, optimal, explicit paths)
+// cannot be re-routed on a variant from their Routes alone and report
+// an error. Cost is one full evaluation per duplex pair per cell — an
+// analysis metric, not a default.
+func WorstFailureMLUMetric() Metric {
+	return funcMetric{name: MetricFailMLU, fn: func(routes *Routes, d *Demands, report *TrafficReport) (float64, error) {
+		w := routes.ecmpWeights
+		if w == nil {
+			return 0, fmt.Errorf("%w: fail_mlu needs OSPF/ECMP weight-backed routes (%s records no single weight vector)", ErrBadInput, routes.router)
+		}
+		en, err := delta.NewEngine(routes.net.g, d.m, w, 0)
+		if err != nil {
+			return 0, err
+		}
+		worst := report.MLU
+		for _, p := range routes.net.DuplexPairs() {
+			if err := en.FailLinks(p[0], p[1]); err != nil {
+				// The failure strands a demand (or isolates a node):
+				// an outage, the worst possible answer.
+				return math.Inf(1), nil
+			}
+			if m := en.Metrics().MLU; m > worst {
+				worst = m
+			}
+			if err := en.RestoreLinks(p[0], p[1]); err != nil {
+				return 0, err
+			}
+		}
+		return worst, nil
+	}}
+}
+
 // DefaultMetrics returns the standard metric set the scenario runner
 // applies when RunOptions.Metrics is nil: MLU, utility, mean and p95
 // utilization, total M/M/1 delay, and max path stretch.
@@ -251,9 +293,9 @@ func DefaultMetrics() []Metric {
 }
 
 // MetricsByName resolves metric names ("mlu", "utility", "mean_util",
-// "p95_util", "mm1_delay", "max_stretch", "fortz", "fortz_norm", and
-// "p<n>_util" for any percentile) into Metric values — the string form
-// Suite specs and command-line flags use.
+// "p95_util", "mm1_delay", "max_stretch", "fortz", "fortz_norm",
+// "fail_mlu", and "p<n>_util" for any percentile) into Metric values —
+// the string form Suite specs and command-line flags use.
 func MetricsByName(names ...string) ([]Metric, error) {
 	out := make([]Metric, 0, len(names))
 	for _, name := range names {
@@ -282,6 +324,8 @@ func metricByName(name string) (Metric, error) {
 		return FortzCostMetric(), nil
 	case MetricFortzNorm:
 		return NormalizedFortzCostMetric(), nil
+	case MetricFailMLU:
+		return WorstFailureMLUMetric(), nil
 	}
 	if rest, ok := strings.CutPrefix(name, "p"); ok {
 		if pct, ok := strings.CutSuffix(rest, "_util"); ok {

@@ -1,0 +1,157 @@
+package spef
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// multiFailureCells expands a grid over the given failure spec with a
+// pair of routers — one fixed, one optimizing with sampled-robust tabu
+// search, so the sweep exercises the full new surface.
+func multiFailureCells(t *testing.T, failures string) ([]Scenario, RunOptions, []string) {
+	t.Helper()
+	n, d := gridNetwork(t)
+	grid := Grid{
+		Topologies: []Topology{{Name: "ring5", Network: n, Demands: d}},
+		Routers: []Router{
+			OSPF(nil),
+			OSPFLocalSearch(LocalSearchOptions{
+				MaxEvals: 60, Seed: 2, Robust: true,
+				SampleFailures: 3, Accept: "tabu", TabuTenure: 4,
+			}),
+		},
+		Failures: failures,
+	}
+	cells, err := grid.Scenarios()
+	if err != nil {
+		t.Fatalf("Scenarios(%s): %v", failures, err)
+	}
+	opts := RunOptions{Workers: 3}
+	return cells, opts, metricNames(opts.metrics())
+}
+
+// TestMultiFailureShardMergeBitIdentical extends the sweep engine's
+// reproducibility contract to the new failure axes: a dual-failure and
+// an SRLG sweep, sharded n ways and merged, must be bitwise identical
+// to the single-process run.
+func TestMultiFailureShardMergeBitIdentical(t *testing.T) {
+	srlg := "srlg:file=" + ring5SRLG(t)
+	for _, failures := range []string{"dual", srlg} {
+		cells, opts, names := multiFailureCells(t, failures)
+		if len(cells) < 6 {
+			t.Fatalf("%s: only %d cells", failures, len(cells))
+		}
+		results, err := RunScenarios(t.Context(), cells, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonicalJSONL(t, encodeResults(t, results))
+		hash := "sha256:" + strings.Repeat("12", 32)
+		for _, nShards := range []int{2, 3} {
+			merged := runShards(t, cells, opts, hash, names, nShards, t.TempDir())
+			if got := canonicalJSONL(t, merged); got != want {
+				t.Errorf("%s: %d-way sharded+merged output differs from single-process run:\ngot:\n%s\nwant:\n%s",
+					failures, nShards, got, want)
+			}
+		}
+	}
+}
+
+// TestDualFailureShardKillAndResume reruns the SIGKILL simulation on a
+// dual-failure sweep: truncate one shard at several offsets (always at
+// least one mid-line), require the torn file to fail the merge loudly,
+// re-run the identical shard command, and demand the final merge be
+// bitwise identical to the single-process run.
+func TestDualFailureShardKillAndResume(t *testing.T) {
+	cells, opts, names := multiFailureCells(t, "dual")
+	results, err := RunScenarios(t.Context(), cells, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalJSONL(t, encodeResults(t, results))
+	hash := "sha256:" + strings.Repeat("34", 32)
+
+	run := func(i int, p string) *ShardReport {
+		t.Helper()
+		rep, err := runShard(t.Context(), cells, opts, "t", hash, names,
+			ShardSpec{Index: i, Count: 2}, p, ShardOptions{CheckpointEvery: 3})
+		if err != nil {
+			t.Fatalf("runShard %d/2: %v", i, err)
+		}
+		return rep
+	}
+	for _, cut := range []func(size int64) int64{
+		func(s int64) int64 { return s / 3 },
+		func(s int64) int64 { return s * 2 / 3 },
+		func(s int64) int64 { return s - 1 },
+	} {
+		dir := t.TempDir()
+		s0 := filepath.Join(dir, "shard0.jsonl")
+		s1 := filepath.Join(dir, "shard1.jsonl")
+		run(0, s0)
+		run(1, s1)
+		fi, err := os.Stat(s0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(s0, cut(fi.Size())); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MergeShardsJSONL(&bytes.Buffer{}, s0, s1); err == nil {
+			t.Fatal("merge of a torn dual-failure shard succeeded, want loud failure")
+		}
+		rep := run(0, s0)
+		if rep.Resumed+rep.Ran != rep.ShardCells {
+			t.Fatalf("resume report = %+v, want resumed+ran = %d", rep, rep.ShardCells)
+		}
+		var merged bytes.Buffer
+		if _, err := MergeShardsJSONL(&merged, s1, s0); err != nil {
+			t.Fatalf("merge after resume: %v", err)
+		}
+		if got := canonicalJSONL(t, merged.Bytes()); got != want {
+			t.Errorf("dual-failure merge after kill+resume differs from single-process run")
+		}
+	}
+}
+
+// TestMultiFailureSuiteEndToEnd drives the declarative path the CLI
+// uses: a Suite with failures="dual" over a registry topology expands,
+// runs, and labels every multi-failure cell with the "A-B+C-D" form.
+func TestMultiFailureSuiteEndToEnd(t *testing.T) {
+	suite := &Suite{
+		Topologies: []string{"zoo:file=internal/topoio/testdata/testnet.graphml"},
+		Demands:    "gravity:seed=1",
+		Loads:      []float64{0.05},
+		Routers:    []string{"invcap", "ospf-ls:iters=40,accept=tabu:tenure=4"},
+		Metrics:    []string{"mlu", "fail_mlu"},
+		Failures:   "dual",
+	}
+	results, err := suite.Collect(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dualCells, tabuCells int
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %s failed: %v", r.Scenario, r.Err)
+		}
+		if strings.Contains(r.Scenario, "+") {
+			dualCells++
+		}
+		if r.Router == "OSPF-LS-tabu" {
+			tabuCells++
+			if v, ok := r.Metric("fail_mlu"); !ok || v <= 0 {
+				t.Errorf("cell %s: fail_mlu = %v, %v", r.Scenario, v, ok)
+			}
+		}
+	}
+	if dualCells == 0 {
+		t.Error("dual suite produced no pair-failure cells")
+	}
+	if tabuCells == 0 {
+		t.Error("dual suite produced no OSPF-LS-tabu cells")
+	}
+}

@@ -273,7 +273,17 @@ func (r ospfRouter) Routes(ctx context.Context, n *Network, d *Demands) (*Routes
 	if err != nil {
 		return nil, err
 	}
-	return &Routes{router: r.Name(), net: n, dags: o.DAGs, splits: o.Splits}, nil
+	w := r.weights
+	if w == nil {
+		w = routing.InvCapWeights(n.g)
+	}
+	return &Routes{
+		router:      r.Name(),
+		net:         n,
+		dags:        o.DAGs,
+		splits:      o.Splits,
+		ecmpWeights: append([]float64(nil), w...),
+	}, nil
 }
 
 // PEFT returns downward PEFT (Xu-Chiang-Rexford INFOCOM'08) as a
@@ -515,6 +525,13 @@ type Routes struct {
 	// weights) — the vector the scenario engine's weight-reuse cache
 	// extracts.
 	weights []float64
+	// ecmpWeights records the single OSPF/ECMP weight vector the routes
+	// forward under, when the scheme is plain shortest-path ECMP (OSPF,
+	// InvCap, OSPF-LS). PEFT weights do not qualify — their splits are
+	// exponential, not even — so this stays nil for every non-ECMP
+	// scheme. Failure analysis (fail_mlu, RankCriticalLinks) re-routes
+	// these weights on degraded variants via the delta engine.
+	ecmpWeights []float64
 }
 
 // Router returns the name of the scheme that produced the routes.
@@ -527,6 +544,19 @@ func (r *Routes) Network() *Network { return r.net }
 // were produced by the SPEF router (or Protocol.Routes), and nil for
 // every other scheme.
 func (r *Routes) Protocol() *Protocol { return r.protocol }
+
+// ECMPWeights returns a copy of the single OSPF/ECMP link-weight vector
+// the routes forward under, when the scheme is plain shortest-path ECMP
+// (OSPF, InvCap, OSPF-LS and variants). It returns nil for every other
+// scheme — PEFT's exponential splits and the optimal reference's flow
+// solution have no such vector. This is the vector failure analysis
+// (fail_mlu, RankCriticalLinks) re-routes on degraded variants.
+func (r *Routes) ECMPWeights() []float64 {
+	if r.ecmpWeights == nil {
+		return nil
+	}
+	return append([]float64(nil), r.ecmpWeights...)
+}
 
 // Destinations lists the destinations the routes carry forwarding state
 // for, in increasing order.

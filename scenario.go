@@ -140,6 +140,14 @@ type Grid struct {
 	// Optimizing routers (SPEF, Optimal, PEFT(nil)) re-optimize on
 	// each variant.
 	SingleLinkFailures bool
+	// Failures selects a failure-set spec ("single", "dual",
+	// "srlg:file=PATH" — see ResolveFailureSet) and supersedes
+	// SingleLinkFailures when non-empty. "single" is exactly the
+	// SingleLinkFailures axis; "dual" adds every unordered pair of
+	// duplex-pair failures; "srlg" fails shared-risk groups from a
+	// file. The same routability screening and stale-weight projection
+	// rules apply to every mode.
+	Failures string
 }
 
 // Scenarios expands the grid into its concrete cells. The expansion is
@@ -164,6 +172,14 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 	if len(loads) == 0 {
 		loads = []float64{0}
 	}
+	fspec := g.Failures
+	if fspec == "" && g.SingleLinkFailures {
+		fspec = failureModeSingle
+	}
+	fset, err := ResolveFailureSet(fspec)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Scenario
 	for _, topo := range g.Topologies {
 		if topo.Network == nil || (topo.Demands == nil && len(topo.Steps) == 0) {
@@ -181,7 +197,7 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 		// routability, so a failure variant either appears for the whole
 		// sequence or not at all.
 		variants := []failureVariant{{net: topo.Network}}
-		if g.SingleLinkFailures {
+		if fset != nil {
 			routability := topo.Demands
 			if len(topo.Steps) > 0 {
 				var err error
@@ -189,7 +205,7 @@ func (g Grid) Scenarios() ([]Scenario, error) {
 					return nil, fmt.Errorf("spef: grid topology %q: %w", topo.Name, err)
 				}
 			}
-			fv, err := failureVariants(topo.Network, routability)
+			fv, err := fset.variants(topo.Network, routability)
 			if err != nil {
 				return nil, fmt.Errorf("spef: grid topology %q: %w", topo.Name, err)
 			}

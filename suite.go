@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"iter"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -33,6 +34,10 @@ type Suite struct {
 	Loads              []float64 `json:"loads,omitempty"`
 	Betas              []float64 `json:"betas,omitempty"`
 	SingleLinkFailures bool      `json:"single_link_failures,omitempty"`
+	// Failures selects a failure-set spec ("single", "dual",
+	// "srlg:file=PATH" — see ResolveFailureSet) and supersedes
+	// SingleLinkFailures when non-empty.
+	Failures string `json:"failures,omitempty"`
 	// Routers lists router specs: "spef", "invcap" (or "ospf"),
 	// "peft", "optimal", "ospf-ls", "ospf-ls-robust", "sr",
 	// "mpls-ksp", each optionally parameterized ("spef:iters=N",
@@ -81,6 +86,12 @@ func (s *Suite) Grid() (Grid, error) {
 		Loads:              s.Loads,
 		Betas:              s.Betas,
 		SingleLinkFailures: s.SingleLinkFailures,
+		Failures:           s.Failures,
+	}
+	// Resolve the failure spec eagerly so a bad spec fails at suite
+	// resolution (with the registry's inventory error), not mid-run.
+	if _, err := ResolveFailureSet(s.Failures); err != nil {
+		return Grid{}, fmt.Errorf("suite failures %q: %w", s.Failures, err)
 	}
 	for _, spec := range s.Topologies {
 		// A suite-level demand spec replaces each topology's canonical
@@ -238,9 +249,9 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 		return OSPF(nil), nil
 	case "ospf-ls", "ospf-ls-robust":
 		robust := name == "ospf-ls-robust"
-		allowed := []string{"seed", "wmax"}
+		allowed := []string{"seed", "wmax", "accept"}
 		if robust {
-			allowed = append(allowed, "rho")
+			allowed = append(allowed, "rho", "sample", "sampleseed")
 		}
 		iters, err := resolveIters(allowed...)
 		if err != nil {
@@ -264,12 +275,31 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 		if _, set := params["rho"]; set && rho <= 0 {
 			return nil, fmt.Errorf("%w: spec %q: rho=%v must be positive", ErrBadInput, spec, rho)
 		}
+		sample, err := intParam(params, "sample", 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, set := params["sample"]; set && sample < 1 {
+			return nil, fmt.Errorf("%w: spec %q: sample=%d must be >= 1", ErrBadInput, spec, sample)
+		}
+		sampleSeed, err := intParam(params, "sampleseed", 0)
+		if err != nil {
+			return nil, err
+		}
+		accept, tenure, err := parseAcceptParam(spec, params["accept"])
+		if err != nil {
+			return nil, err
+		}
 		return OSPFLocalSearch(LocalSearchOptions{
 			MaxEvals:       int(iters),
 			WeightMax:      int(wmax),
 			Seed:           seed,
 			Robust:         robust,
 			FailurePenalty: rho,
+			SampleFailures: int(sample),
+			SampleSeed:     sampleSeed,
+			Accept:         accept,
+			TabuTenure:     tenure,
 		}), nil
 	case "mpls-ksp", "sr":
 		allowed := []string{"seed", "wmax", "base"}
@@ -329,6 +359,38 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 	inv := routerInventory()
 	return nil, fmt.Errorf("%w: unknown router %q%s (known: %s)",
 		ErrBadInput, spec, suggest(name, inv.known), inv.list)
+}
+
+// parseAcceptParam parses a router spec's accept=... value: "" (keep
+// the default), "hill", "tabu", or "tabu:tenure=N" with N >= 1. The
+// tenure rides inside the accept value — parseSpec splits parameters on
+// the first '=' only, so "accept=tabu:tenure=8" arrives here whole.
+func parseAcceptParam(spec, v string) (accept string, tenure int, err error) {
+	if v == "" {
+		return "", 0, nil
+	}
+	rule, rest, hasRest := strings.Cut(v, ":")
+	switch rule {
+	case "hill":
+		if hasRest {
+			return "", 0, fmt.Errorf("%w: spec %q: accept=hill takes no tenure", ErrBadInput, spec)
+		}
+		return "hill", 0, nil
+	case "tabu":
+		if !hasRest {
+			return "tabu", 0, nil
+		}
+		n, ok := strings.CutPrefix(rest, "tenure=")
+		if !ok {
+			return "", 0, fmt.Errorf("%w: spec %q: accept=tabu:%s (want tabu or tabu:tenure=N)", ErrBadInput, spec, rest)
+		}
+		tenure, err := strconv.Atoi(n)
+		if err != nil || tenure < 1 {
+			return "", 0, fmt.Errorf("%w: spec %q: tabu tenure %q must be an integer >= 1", ErrBadInput, spec, n)
+		}
+		return "tabu", tenure, nil
+	}
+	return "", 0, fmt.Errorf("%w: spec %q: accept=%q must be hill or tabu[:tenure=N]", ErrBadInput, spec, v)
 }
 
 // routerInventory caches the router name lists the unknown-spec error
