@@ -219,11 +219,13 @@ var routerDocs = []SpecDoc{
 		Name:    "mpls-ksp",
 		Summary: "MPLS explicit paths: per-demand splits over the k cheapest simple paths, LP-optimized for min MLU.",
 		Params: []ParamDoc{
-			{Name: "k", Default: "4", Doc: "candidate paths per demand"},
+			{Name: "k", Default: "4", Doc: "candidate paths per demand (with colgen=on: pricing-oracle scan width)"},
 			{Name: "iters", Default: "2000", Doc: "base-weight local-search budget"},
 			{Name: "wmax", Default: "20", Doc: "largest base integer weight"},
 			{Name: "seed", Default: "0", Doc: "base-weight search seed"},
 			{Name: "base", Default: "ospf-ls", Doc: "base weights: ospf-ls or invcap"},
+			{Name: "colgen", Default: "off", Doc: "solve the split LP by column generation over all simple paths (on/off)"},
+			{Name: "screen", Default: "off", Doc: "exact bottleneck-support pruning in the greedy candidate (on/off)"},
 		},
 	},
 	{
@@ -235,6 +237,7 @@ var routerDocs = []SpecDoc{
 			{Name: "wmax", Default: "20", Doc: "largest base integer weight"},
 			{Name: "seed", Default: "0", Doc: "base-weight search seed"},
 			{Name: "base", Default: "ospf-ls", Doc: "base weights: ospf-ls or invcap"},
+			{Name: "screen", Default: "off", Doc: "exact bottleneck-support midpoint pruning (on/off)"},
 		},
 	},
 	{

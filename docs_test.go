@@ -1,0 +1,175 @@
+package spef
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// designHeadings returns the `## ` section titles of DESIGN.md in
+// order, skipping fenced code blocks and the generated Contents
+// section itself.
+func designHeadings(t *testing.T, doc string) []string {
+	t.Helper()
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "## ") {
+			continue
+		}
+		title := strings.TrimPrefix(line, "## ")
+		if title == "Contents" {
+			continue
+		}
+		out = append(out, title)
+	}
+	if len(out) < 10 {
+		t.Fatalf("found only %d sections in DESIGN.md — parser broken?", len(out))
+	}
+	return out
+}
+
+// githubSlug renders a heading the way GitHub anchors it: lowercase,
+// drop everything but letters, digits, spaces, hyphens and
+// underscores, then turn spaces into hyphens. (No duplicate-suffix
+// handling — designHeadings asserts uniqueness separately.)
+func githubSlug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}
+
+// designTOC renders the generated table of contents for the given
+// headings — the exact text between the design-toc markers.
+func designTOC(headings []string) string {
+	var b strings.Builder
+	for _, h := range headings {
+		fmt.Fprintf(&b, "- [%s](#%s)\n", h, githubSlug(h))
+	}
+	return b.String()
+}
+
+const designTOCBegin, designTOCEnd = "<!-- design-toc:begin -->\n", "<!-- design-toc:end -->"
+
+// TestDesignTOC pins DESIGN.md's table of contents to its section
+// headings: adding, renaming or reordering a `##` section without
+// regenerating the TOC fails here. Regenerate with
+// UPDATE_GOLDEN=1 go test -run TestDesignTOC .
+func TestDesignTOC(t *testing.T) {
+	raw, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	headings := designHeadings(t, doc)
+	seen := map[string]bool{}
+	for _, h := range headings {
+		if s := githubSlug(h); seen[s] {
+			t.Fatalf("duplicate section slug %q — anchors would collide", s)
+		} else {
+			seen[s] = true
+		}
+	}
+	want := designTOC(headings)
+
+	head, rest, ok := strings.Cut(doc, designTOCBegin)
+	if !ok {
+		t.Fatal("DESIGN.md is missing the design-toc:begin marker")
+	}
+	got, tail, ok := strings.Cut(rest, designTOCEnd)
+	if !ok {
+		t.Fatal("DESIGN.md is missing the design-toc:end marker")
+	}
+	if got == want {
+		return
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		updated := head + designTOCBegin + want + designTOCEnd + tail
+		if err := os.WriteFile("DESIGN.md", []byte(updated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote DESIGN.md table of contents (%d sections)", len(headings))
+		return
+	}
+	t.Fatalf("DESIGN.md table of contents is stale.\n got:\n%s\nwant:\n%s\nRegenerate with UPDATE_GOLDEN=1 go test -run TestDesignTOC .", got, want)
+}
+
+// TestDesignSectionsLinkCode enforces the book contract: every section
+// of DESIGN.md opens with a *Code:* line pointing at the package docs
+// it describes, so godoc and the design book cross-reference each
+// other.
+func TestDesignSectionsLinkCode(t *testing.T) {
+	raw, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+	headings := designHeadings(t, doc)
+	inFence := false
+	section := ""
+	hasCode := map[string]bool{}
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if strings.HasPrefix(line, "## ") {
+			section = strings.TrimPrefix(line, "## ")
+			continue
+		}
+		if strings.HasPrefix(line, "*Code: ") {
+			hasCode[section] = true
+		}
+	}
+	for _, h := range headings {
+		if !hasCode[h] {
+			t.Errorf("DESIGN.md section %q has no *Code:* cross-link line", h)
+		}
+	}
+}
+
+// TestDocsRelativeLinksExist: every relative markdown link in the
+// documentation set points at a file that exists — renaming or moving
+// a source file can't silently break the book.
+func TestDocsRelativeLinksExist(t *testing.T) {
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "README.md", "ROADMAP.md"} {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range link.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s links to %q which does not exist: %v", name, m[1], err)
+			}
+		}
+	}
+}

@@ -134,6 +134,32 @@ func explicitKernels(in *instance, budget time.Duration) ([]Kernel, error) {
 				panic(err)
 			}
 		}))
+
+	// colgenmaster: the same master problem solved dense (k-path
+	// enumeration + one LP) vs by column generation (restricted master +
+	// dual pricing). Both run from warm caches so the ratio isolates the
+	// solve strategies; on bench-sized instances dense can win — the
+	// baseline records the trajectory either way, and colgen's payoff is
+	// the scaling the ladder-at-scale recipe measures.
+	denseCG, err := explicit.NewPathLP(in.g, in.w, 4)
+	if err != nil {
+		return nil, err
+	}
+	colgen, err := explicit.NewPathLP(in.g, in.w, 4)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, kernel("colgenmaster", "dense-lp", "colgen", true,
+		func() {
+			if _, err := denseCG.Solve(ctx, tm); err != nil {
+				panic(err)
+			}
+		},
+		func() {
+			if _, err := colgen.SolveColGen(ctx, tm); err != nil {
+				panic(err)
+			}
+		}))
 	return out, nil
 }
 
@@ -216,6 +242,47 @@ func explicitParity(in *instance) ([]Parity, error) {
 		Name:         in.name + "/mplslp",
 		Detail:       fmt.Sprintf("cached-candidate solve vs fresh solver, MLU and %d-link flow", len(want.Flow.Total)),
 		BitIdentical: lpSame,
+	})
+
+	// colgenmaster: two independent colgen solvers must agree bitwise
+	// (determinism), and their MLU must match the dense LP within
+	// tolerance (colgen optimizes over all simple paths, a superset of
+	// the dense candidates, reached by a different pivot sequence — so
+	// low-order bits may differ from dense, but not between colgen runs).
+	cgA, err := explicit.NewPathLP(in.g, in.w, 4)
+	if err != nil {
+		return nil, err
+	}
+	gotA, err := cgA.SolveColGen(ctx, tm)
+	if err != nil {
+		return nil, err
+	}
+	cgB, err := explicit.NewPathLP(in.g, in.w, 4)
+	if err != nil {
+		return nil, err
+	}
+	gotB, err := cgB.SolveColGen(ctx, tm)
+	if err != nil {
+		return nil, err
+	}
+	cgSame := gotA.MLU == gotB.MLU && gotA.Paths == gotB.Paths && gotA.Rounds == gotB.Rounds
+	if cgSame {
+		for e := range gotA.Flow.Total {
+			if gotA.Flow.Total[e] != gotB.Flow.Total[e] {
+				cgSame = false
+				break
+			}
+		}
+	}
+	mluDiff := gotA.MLU - want.MLU
+	if mluDiff < 0 {
+		mluDiff = -mluDiff
+	}
+	out = append(out, Parity{
+		Name: in.name + "/colgenmaster",
+		Detail: fmt.Sprintf("colgen re-run bitwise + MLU vs dense within 1e-6 (diff %.2e; %d cols in %d rounds vs %d dense paths)",
+			mluDiff, gotA.Paths, gotA.Rounds, want.Paths),
+		BitIdentical: cgSame && mluDiff <= 1e-6*(1+want.MLU),
 	})
 	return out, nil
 }

@@ -1,0 +1,390 @@
+package explicit
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/ksp"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/par"
+	"repro/internal/traffic"
+)
+
+// This file scales the path LP past what up-front enumeration can
+// carry: instead of materializing k paths per pair and solving one
+// dense LP over all of them, SolveColGen starts every demand on its
+// single shortest path, solves a restricted master LP, and lets the
+// LP's own duals ask for the paths it is missing (column generation).
+// The pricing oracle is internal/ksp under dual-adjusted link costs: a
+// candidate path's reduced cost is negative exactly when it is shorter,
+// under the congestion prices, than what the master already routes the
+// demand on — iterating until no pair prices in reaches the optimum
+// over ALL simple paths, not just a pre-enumerated subset.
+//
+// The restricted master is kept small by eliminating the per-demand
+// convexity rows: demand d's first path carries the implicit fraction
+// 1 - sum of its alternates, so the master has one row per link
+//
+//	sum_d vol_d (u_p - u_p0) . x  -  cap_e theta  <=  -base_e
+//
+// (base_e = load of the all-first-paths routing) plus one "alternate
+// sum <= 1" row per demand that has acquired alternates. Rows and
+// columns are appended between solves and the sparse solver warm-starts
+// from the previous basis, so a pricing round costs only the pivots its
+// new columns cause.
+//
+// Reduced-cost algebra, with y_e <= 0 the link-row duals, mu_d <= 0 the
+// alternate-sum duals, and wtilde = -y the (nonnegative) pricing costs:
+// an alternate column for path p of demand d prices at
+//
+//	rc(d, p) = vol_d * (C(p) - C(p0_d)) - mu_d,   C(q) = sum_{e in q} wtilde_e
+//
+// so p prices in iff C(p) < thr_d = C(p0_d) + mu_d/vol_d (minus
+// tolerance), and the best candidate is the wtilde-shortest path — the
+// oracle query. Pairs with thr_d ~ 0 (shortest path untouched by any
+// priced link) are skipped without an oracle call, which is what keeps
+// pricing rounds cheap on large instances.
+const (
+	// colgenMaxRounds bounds pricing rounds; on exhaustion the current
+	// (feasible, near-optimal) master solution is returned.
+	colgenMaxRounds = 400
+	// colgenMaxAdd bounds columns added per round (most negative reduced
+	// costs first), keeping master growth and basis size in check.
+	colgenMaxAdd = 512
+)
+
+// colgenStats exposes the terminal pricing state to the package tests:
+// the final pricing costs, each demand's first-path cost and
+// alternate-row dual, and the growth counters.
+type colgenStats struct {
+	wtilde []float64 // final per-link pricing costs (-duals, clamped >= 0)
+	c0     []float64 // final C(p0) per demand
+	mu     []float64 // final alternate-sum dual per demand (0 when none)
+	tol    float64   // pricing tolerance used on the final round
+	cols   int       // total columns: first paths + alternates
+	rounds int
+}
+
+// SolveColGen solves the same minimum-MLU path model as Solve, by
+// column generation over ALL simple paths instead of a dense LP over k
+// pre-enumerated ones: per pricing round each pair may gain one new
+// path (the cheapest under the master's dual link costs, found by the
+// k-shortest oracle so duplicates can be seen past), until no pair has
+// a negatively priced path. The solver's k bounds the oracle's scan
+// width per round, not the candidate set. Returns ErrLP-wrapped errors
+// on master failure.
+func (p *PathLP) SolveColGen(ctx context.Context, tm *traffic.Matrix) (*LPResult, error) {
+	res, _, err := p.solveColGen(ctx, tm, nil)
+	return res, err
+}
+
+// solveColGen is SolveColGen plus test instrumentation: onColumn (when
+// non-nil) observes every generated column with its reduced cost, and
+// the returned stats carry the terminal pricing state.
+func (p *PathLP) solveColGen(ctx context.Context, tm *traffic.Matrix, onColumn func(dem int, links []int, rc float64)) (*LPResult, *colgenStats, error) {
+	dems := tm.Demands()
+	first, err := p.firstPaths(ctx, dems)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	m := p.g.NumLinks()
+	base := make([]float64, m)
+	for i, d := range dems {
+		for _, e := range first[i] {
+			base[e] += d.Volume
+		}
+	}
+	prob := lp.NewSparseProblem()
+	for e := 0; e < m; e++ {
+		if _, err := prob.AddRow(-base[e]); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrLP, err)
+		}
+	}
+	thetaRows := make([]int, m)
+	thetaVals := make([]float64, m)
+	for e := 0; e < m; e++ {
+		thetaRows[e] = e
+		thetaVals[e] = -p.g.Link(e).Cap
+	}
+	if _, err := prob.AddColumn(1, thetaRows, thetaVals); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrLP, err)
+	}
+	solver := lp.NewSparseSolver(prob)
+
+	// Per-demand alternate state: the sum row (lazily created) and the
+	// alternates' link sequences aligned with their column indices.
+	altRow := make([]int, len(dems))
+	for i := range altRow {
+		altRow[i] = -1
+	}
+	altLinks := make([][][]int, len(dems))
+	altCols := make([][]int, len(dems))
+
+	stats := &colgenStats{
+		wtilde: make([]float64, m),
+		c0:     make([]float64, len(dems)),
+		mu:     make([]float64, len(dems)),
+	}
+	wp := make([]float64, m)          // oracle weights: wtilde + delta floor
+	thr := make([]float64, len(dems)) // pricing threshold per demand
+	found := make([][]int, len(dems)) // candidate path per demand this round
+	foundRc := make([]float64, len(dems))
+	errs := make([]error, len(dems))
+
+	var master *lp.SparseResult
+	for round := 1; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		master, err = solver.Solve()
+		if err != nil {
+			// The master is feasible and bounded by construction; any
+			// failure here is numerical.
+			return nil, nil, fmt.Errorf("%w: master round %d: %w", ErrLP, round, err)
+		}
+		stats.rounds = round
+
+		// Duals -> pricing costs and per-demand thresholds.
+		var maxW float64
+		for e := 0; e < m; e++ {
+			w := -master.Y[e]
+			if w < 0 {
+				w = 0
+			}
+			stats.wtilde[e] = w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		tol := 1e-9 * (1 + maxW)
+		delta := 1e-12 * (1 + maxW)
+		stats.tol = tol
+		for e := 0; e < m; e++ {
+			wp[e] = stats.wtilde[e] + delta
+		}
+		for i, d := range dems {
+			var c0 float64
+			for _, e := range first[i] {
+				c0 += stats.wtilde[e]
+			}
+			stats.c0[i] = c0
+			mu := 0.0
+			if r := altRow[i]; r >= 0 {
+				if y := master.Y[r]; y < 0 {
+					mu = y
+				}
+			}
+			stats.mu[i] = mu
+			thr[i] = c0 + mu/d.Volume
+		}
+
+		// Pricing: the wtilde-shortest path per pair, skipping pairs
+		// whose threshold cannot be beaten by a nonnegative path cost.
+		// The oracle runs under wp = wtilde + delta (ksp needs strictly
+		// positive weights); delta only breaks zero-cost ties toward
+		// fewer hops and is absorbed by the tolerance.
+		par.Do(len(dems), func(i int) {
+			found[i], errs[i] = nil, nil
+			if thr[i] <= tol {
+				return
+			}
+			paths, err := ksp.KShortest(p.g, wp, dems[i].Src, dems[i].Dst, p.k)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for _, cand := range paths {
+				if cand.Cost >= thr[i]-tol {
+					break // nondecreasing: nothing later prices in
+				}
+				if equalLinkSeq(cand.Links, first[i]) || containsLinkSeq(altLinks[i], cand.Links) {
+					continue // already a column; the next path may still price in
+				}
+				var c float64
+				for _, e := range cand.Links {
+					c += stats.wtilde[e]
+				}
+				found[i] = cand.Links
+				foundRc[i] = dems[i].Volume*(c-stats.c0[i]) - stats.mu[i]
+				break
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: pricing: %v", ErrLP, err)
+			}
+		}
+
+		var adds []int
+		for i := range dems {
+			if found[i] != nil {
+				adds = append(adds, i)
+			}
+		}
+		if len(adds) == 0 || round >= colgenMaxRounds {
+			break
+		}
+		if len(adds) > colgenMaxAdd {
+			// Keep the most negative reduced costs (ties: demand order).
+			sort.SliceStable(adds, func(a, b int) bool {
+				return foundRc[adds[a]] < foundRc[adds[b]]
+			})
+			adds = adds[:colgenMaxAdd]
+			sort.Ints(adds)
+		}
+
+		for _, i := range adds {
+			if altRow[i] < 0 {
+				r, err := prob.AddRow(1)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%w: %v", ErrLP, err)
+				}
+				altRow[i] = r
+			}
+			rows, vals := altColumn(found[i], first[i], dems[i].Volume, altRow[i])
+			col, err := prob.AddColumn(0, rows, vals)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %v", ErrLP, err)
+			}
+			altLinks[i] = append(altLinks[i], found[i])
+			altCols[i] = append(altCols[i], col)
+			if onColumn != nil {
+				onColumn(i, found[i], foundRc[i])
+			}
+		}
+	}
+
+	// Assemble the flow: each demand's alternates at their master
+	// fractions, the first path at the eliminated remainder.
+	f := mcf.NewFlow(p.g, tm.Destinations())
+	total := len(dems)
+	for i, d := range dems {
+		ft := f.PerDest[d.Dst]
+		var altSum float64
+		for a, col := range altCols[i] {
+			frac := 0.0
+			if col < len(master.X) {
+				frac = master.X[col]
+			}
+			if frac <= 0 {
+				continue
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			altSum += frac
+			for _, e := range altLinks[i][a] {
+				ft[e] += d.Volume * frac
+			}
+		}
+		total += len(altCols[i])
+		if frac := 1 - altSum; frac > 0 {
+			for _, e := range first[i] {
+				ft[e] += d.Volume * frac
+			}
+		}
+	}
+	f.RecomputeTotal()
+	stats.cols = total
+	return &LPResult{
+		Flow:   f,
+		MLU:    MaxUtil(p.g, f.Total),
+		Paths:  total,
+		Rounds: stats.rounds,
+	}, stats, nil
+}
+
+// firstPaths returns (and caches) each demand pair's shortest path
+// under the base weights — the column every pair starts from.
+func (p *PathLP) firstPaths(ctx context.Context, dems []traffic.Demand) ([][]int, error) {
+	var missing [][2]int
+	seen := make(map[[2]int]bool)
+	for _, d := range dems {
+		key := [2]int{d.Src, d.Dst}
+		if _, ok := p.first[key]; !ok && !seen[key] {
+			seen[key] = true
+			missing = append(missing, key)
+		}
+	}
+	if len(missing) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		found := make([][]ksp.Path, len(missing))
+		errs := make([]error, len(missing))
+		par.Do(len(missing), func(i int) {
+			found[i], errs[i] = ksp.KShortest(p.g, p.w, missing[i][0], missing[i][1], 1)
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+			if len(found[i]) == 0 {
+				return nil, fmt.Errorf("%w: demand %d -> %d is not routable", ErrBadInput, missing[i][0], missing[i][1])
+			}
+			p.first[missing[i]] = found[i][0].Links
+		}
+	}
+	out := make([][]int, len(dems))
+	for i, d := range dems {
+		out[i] = p.first[[2]int{d.Src, d.Dst}]
+	}
+	return out, nil
+}
+
+// altColumn builds the sparse master column of an alternate path: the
+// per-link flow delta against the demand's first path (vol on links the
+// path adds, -vol on links it leaves), plus the demand's alternate-sum
+// row. Overlapping links cancel exactly.
+func altColumn(links, first []int, vol float64, altRow int) ([]int, []float64) {
+	coef := make(map[int]float64, len(links)+len(first))
+	for _, e := range links {
+		coef[e] += vol
+	}
+	for _, e := range first {
+		coef[e] -= vol
+	}
+	rows := make([]int, 0, len(coef)+1)
+	for e, v := range coef {
+		if v != 0 {
+			rows = append(rows, e)
+		}
+	}
+	sort.Ints(rows)
+	vals := make([]float64, 0, len(rows)+1)
+	for _, e := range rows {
+		vals = append(vals, coef[e])
+	}
+	rows = append(rows, altRow)
+	vals = append(vals, 1)
+	return rows, vals
+}
+
+// equalLinkSeq reports whether two link sequences are identical.
+func equalLinkSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsLinkSeq reports whether seqs already holds links.
+func containsLinkSeq(seqs [][]int, links []int) bool {
+	for _, s := range seqs {
+		if equalLinkSeq(s, links) {
+			return true
+		}
+	}
+	return false
+}

@@ -14,8 +14,24 @@
 // flow, every midpoint detour, and the MPLS fallback all assemble from
 // these vectors by linearity.
 //
+// The path LP solves two ways. PathLP.Solve enumerates k candidate
+// paths per pair up front and hands one dense LP to internal/lp's
+// tableau simplex. PathLP.SolveColGen performs column generation:
+// each demand starts on its shortest path only, a restricted master
+// LP (internal/lp's sparse revised simplex, warm-started as it grows)
+// is solved, and new paths are priced against the LP duals with
+// internal/ksp as the shortest-path oracle until no simple path has
+// negative reduced cost — an exact optimum over all simple paths,
+// certified at termination by dual feasibility. TwoSegmentOpt's
+// Screen option prunes midpoint candidates whose unit-flow support
+// touches a link already at the acceptance threshold; the screen is
+// exact (adding nonnegative flow cannot lower a utilization, and
+// acceptance requires strict improvement), so screened sweeps are
+// bitwise-identical to full ones. See DESIGN.md, "LP & column
+// generation".
+//
 // Everything here is deterministic for any worker count: parallel
 // per-destination builds write disjoint slots, greedy passes run in
-// fixed demand order with first-wins tie-breaks, and the LP is the
-// dense deterministic simplex of internal/lp.
+// fixed demand order with first-wins tie-breaks, and both LP paths
+// use the deterministic simplex implementations of internal/lp.
 package explicit

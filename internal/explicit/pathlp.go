@@ -33,6 +33,9 @@ type PathLP struct {
 	w     []float64
 	k     int
 	cands map[[2]int][]ksp.Path
+	// first caches each pair's shortest path for SolveColGen (kept apart
+	// from cands: colgen never needs the k-deep enumeration).
+	first map[[2]int][]int
 }
 
 // NewPathLP validates the query shape; path enumeration is deferred to
@@ -49,6 +52,7 @@ func NewPathLP(g *graph.Graph, weights []float64, k int) (*PathLP, error) {
 		w:     append([]float64(nil), weights...),
 		k:     k,
 		cands: make(map[[2]int][]ksp.Path),
+		first: make(map[[2]int][]int),
 	}, nil
 }
 
@@ -60,8 +64,12 @@ type LPResult struct {
 	// not the LP objective, so it is consistent with every other
 	// router's reporting arithmetic).
 	MLU float64
-	// Paths is the total number of candidate paths across demands.
+	// Paths is the total number of candidate paths across demands (for
+	// SolveColGen: the columns actually generated, first paths included).
 	Paths int
+	// Rounds is the number of pricing rounds SolveColGen ran (zero for
+	// the dense Solve).
+	Rounds int
 }
 
 // Solve enumerates (or reuses) each demand pair's candidates and solves
@@ -123,8 +131,10 @@ func (p *PathLP) Solve(ctx context.Context, tm *traffic.Matrix) (*LPResult, erro
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrLP, err)
 	}
-	if r.Status != lp.Optimal {
-		return nil, fmt.Errorf("%w: status %v", ErrLP, r.Status)
+	if serr := r.Err(); serr != nil {
+		// Surface the typed sentinel (lp.ErrUnbounded / lp.ErrInfeasible)
+		// inside the ErrLP wrap so callers can distinguish the failure.
+		return nil, fmt.Errorf("%w: %w", ErrLP, serr)
 	}
 
 	f := mcf.NewFlow(p.g, tm.Destinations())

@@ -21,6 +21,29 @@ type SRResult struct {
 	Detoured int
 	// Passes is the number of greedy sweeps performed.
 	Passes int
+	// Screened counts candidate evaluations the bottleneck-support
+	// screen pruned (always 0 with the screen off).
+	Screened int
+}
+
+// SROptions configures TwoSegmentOpt.
+type SROptions struct {
+	// Segments is the maximum number of shortest-path legs per demand
+	// (1 or 2).
+	Segments int
+	// MaxPasses bounds the greedy sweeps (<= 0: default 4).
+	MaxPasses int
+	// Screen enables the bottleneck-support screen: before scoring a
+	// candidate, its legs' unit-flow supports are tested against the set
+	// of links already at or above the incumbent's utilization — a
+	// candidate touching one can only raise that link further, so it is
+	// pruned without the per-link evaluation. The screen is exact (float
+	// addition of nonnegative flow and division by a positive capacity
+	// are monotone, and acceptance requires strict improvement), so
+	// results are identical with it on or off; it is off by default only
+	// to keep the evaluation-for-evaluation arithmetic of committed
+	// goldens trivially untouched.
+	Screen bool
 }
 
 // relEps is the relative improvement a candidate must beat the incumbent
@@ -42,6 +65,13 @@ const relEps = 1e-12
 // improvements makes the result's MLU at most the direct (OSPF) MLU —
 // the ladder inequality the property tests pin.
 func TwoSegment(ctx context.Context, uf *UnitFlows, tm *traffic.Matrix, segments, maxPasses int) (*SRResult, error) {
+	return TwoSegmentOpt(ctx, uf, tm, SROptions{Segments: segments, MaxPasses: maxPasses})
+}
+
+// TwoSegmentOpt is TwoSegment with the full option set (notably the
+// bottleneck-support screen; see SROptions).
+func TwoSegmentOpt(ctx context.Context, uf *UnitFlows, tm *traffic.Matrix, opts SROptions) (*SRResult, error) {
+	segments, maxPasses := opts.Segments, opts.MaxPasses
 	if segments != 1 && segments != 2 {
 		return nil, fmt.Errorf("%w: segments=%d must be 1 or 2", ErrBadInput, segments)
 	}
@@ -99,6 +129,15 @@ func TwoSegment(ctx context.Context, uf *UnitFlows, tm *traffic.Matrix, segments
 		return uf.Unit(d.Src, d.Dst), nil
 	}
 
+	// hot, with the screen on, is the bitset of links whose background
+	// utilization base[e]/caps[e] already reaches the incumbent's value:
+	// any candidate putting flow on one cannot strictly improve, so its
+	// evaluation is skipped. Rebuilt per demand (base changes each time).
+	var hot []uint64
+	if opts.Screen {
+		hot = make([]uint64, (m+63)/64)
+	}
+
 	if segments == 2 {
 		for res.Passes < maxPasses {
 			res.Passes++
@@ -121,8 +160,26 @@ func TwoSegment(ctx context.Context, uf *UnitFlows, tm *traffic.Matrix, segments
 				// loses to direct before any midpoint).
 				bestVal := utilWith(d.Volume, v1, v2)
 				best := res.Midpoint[i]
+				if hot != nil {
+					// A link already at the incumbent's utilization on
+					// background load alone disqualifies every candidate
+					// touching it. Built from the incumbent's bestVal; later
+					// improvements only shrink the threshold the set
+					// understates, so pruning stays sound.
+					for w := range hot {
+						hot[w] = 0
+					}
+					thr := bestVal * (1 - relEps)
+					for e := 0; e < m; e++ {
+						if base[e]/caps[e] >= thr {
+							hot[e/64] |= 1 << (e % 64)
+						}
+					}
+				}
 				if best >= 0 {
-					if v := utilWith(d.Volume, uf.Unit(d.Src, d.Dst), nil); v < bestVal*(1-relEps) {
+					if hot != nil && overlaps(uf.Support(d.Src, d.Dst), hot) {
+						res.Screened++
+					} else if v := utilWith(d.Volume, uf.Unit(d.Src, d.Dst), nil); v < bestVal*(1-relEps) {
 						bestVal, best = v, -1
 					}
 				}
@@ -132,6 +189,10 @@ func TwoSegment(ctx context.Context, uf *UnitFlows, tm *traffic.Matrix, segments
 					}
 					c1, c2 := uf.Unit(d.Src, mid), uf.Unit(mid, d.Dst)
 					if c1 == nil || c2 == nil {
+						continue
+					}
+					if hot != nil && (overlaps(uf.Support(d.Src, mid), hot) || overlaps(uf.Support(mid, d.Dst), hot)) {
+						res.Screened++
 						continue
 					}
 					if v := utilWith(d.Volume, c1, c2); v < bestVal*(1-relEps) {

@@ -30,6 +30,11 @@ type UnitFlows struct {
 	// unit[t*n+s] is the per-link unit flow s -> t; nil when s == t or
 	// when s cannot reach t.
 	unit [][]float64
+	// supp[t*n+s] is the bitset of links carrying nonzero unit flow
+	// s -> t — the pair's support, used by the midpoint screen to test
+	// "does this leg touch a bottleneck link" in a handful of word ANDs
+	// instead of a full axpy evaluation.
+	supp [][]uint64
 }
 
 // BuildUnitFlows propagates a unit of demand from every source down each
@@ -42,7 +47,8 @@ func BuildUnitFlows(g *graph.Graph, weights []float64, tol float64) (*UnitFlows,
 		return nil, fmt.Errorf("%w: got %d weights for %d links", ErrBadInput, len(weights), g.NumLinks())
 	}
 	n := g.NumNodes()
-	u := &UnitFlows{g: g, n: n, unit: make([][]float64, n*n)}
+	u := &UnitFlows{g: g, n: n, unit: make([][]float64, n*n), supp: make([][]uint64, n*n)}
+	words := (g.NumLinks() + 63) / 64
 	errs := make([]error, n)
 	par.Do(n, func(t int) {
 		ws := workspaces.Get(g)
@@ -76,6 +82,13 @@ func BuildUnitFlows(g *graph.Graph, weights []float64, tol float64) (*UnitFlows,
 				return
 			}
 			u.unit[t*n+s] = vec
+			bs := make([]uint64, words)
+			for e, v := range vec {
+				if v > 0 {
+					bs[e/64] |= 1 << (e % 64)
+				}
+			}
+			u.supp[t*n+s] = bs
 		}
 	})
 	for _, err := range errs {
@@ -89,6 +102,21 @@ func BuildUnitFlows(g *graph.Graph, weights []float64, tol float64) (*UnitFlows,
 // Unit returns the per-link unit flow s -> t, nil when s == t or t is
 // unreachable from s. The slice is shared — callers must not mutate it.
 func (u *UnitFlows) Unit(s, t int) []float64 { return u.unit[t*u.n+s] }
+
+// Support returns the link bitset of Unit(s, t) (bit e set iff the pair
+// puts nonzero flow on link e), nil exactly when Unit is nil. The slice
+// is shared — callers must not mutate it.
+func (u *UnitFlows) Support(s, t int) []uint64 { return u.supp[t*u.n+s] }
+
+// overlaps reports whether two link bitsets share a set bit.
+func overlaps(a, b []uint64) bool {
+	for i, w := range a {
+		if w&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // CheckRoutable reports the first demand of tm whose pair has no unit
 // flow (destination unreachable from the source).

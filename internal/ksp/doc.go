@@ -2,7 +2,11 @@
 // over the graph package's workspace arenas.
 //
 // The enumerator is built for the explicit-path routers (MPLS-kSP's
-// path-based LP, segment routing's candidate analysis): it produces, for
+// path-based LP, segment routing's candidate analysis) and doubles as
+// the pricing oracle of the column-generation solver: paths priced
+// against LP duals are k-cheapest paths under the dual-adjusted
+// weights, so explicit.SolveColGen scans this enumeration in cost
+// order and stops at the reduced-cost threshold. It produces, for
 // one (source, destination) pair, the k cheapest simple paths under a
 // strictly positive weight vector, in nondecreasing cost order, fully
 // deterministically — ties are broken by the lexicographically smallest

@@ -1,5 +1,5 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs in the form
+// Package lp implements two primal simplex solvers for linear programs
+// in the form
 //
 //	minimize    c . x
 //	subject to  a_i . x  {<=, =, >=}  b_i     for every constraint i
@@ -9,7 +9,22 @@
 // reproduction: minimum-MLU routing, lexicographic min-max load
 // balance, and minimum-cost multi-commodity flow (paper Eq. 9 and the
 // Table I baseline columns), all built in internal/mcf on top of this
-// package.
+// package — and for the explicit-path restricted masters that
+// internal/explicit's column generation re-solves as it grows.
+//
+// The two solvers split the problem space:
+//
+//   - Problem/Solve: a dense two-phase tableau over general {<=,=,>=}
+//     rows — simple, deterministic, right for the fixed-size baselines.
+//   - SparseProblem/SparseSolver: a revised simplex over <= rows with
+//     column-major sparse storage, warm-started re-solves on an
+//     incrementally grown problem (append-only AddColumn/AddRow), and
+//     row duals in the result for pricing. This is the
+//     column-generation path.
+//
+// Non-optimal outcomes carry the typed sentinels ErrInfeasible and
+// ErrUnbounded: the sparse solver returns them directly, the dense
+// solver's Status translates via Status.Err/Result.Err.
 //
 // # Usage
 //

@@ -22,6 +22,37 @@ func ExampleSolve() {
 	// optimal [2 3] 5
 }
 
+// ExampleSparseSolver builds a small master problem column by column,
+// solves it, then appends a better column and re-solves warm — the
+// grow-and-re-solve cycle a column-generation loop drives. The duals in
+// Y are what prices candidate columns.
+func ExampleSparseSolver() {
+	p := lp.NewSparseProblem()
+	rx, _ := p.AddRow(2)     // x <= 2
+	ry, _ := p.AddRow(3)     // y <= 3
+	shared, _ := p.AddRow(4) // x + y (+ z) <= 4
+	p.AddColumn(-1, []int{rx, shared}, []float64{1, 1})
+	p.AddColumn(-1, []int{ry, shared}, []float64{1, 1})
+	s := lp.NewSparseSolver(p)
+	res, err := s.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(-res.Obj, res.Y[shared])
+
+	// A new column twice as valuable on the shared row prices in
+	// (reduced cost -2 - Y[shared]*1 < 0) and takes over on re-solve.
+	p.AddColumn(-2, []int{shared}, []float64{1})
+	res, err = s.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(-res.Obj, res.X)
+	// Output:
+	// 4 -1
+	// 8 [0 0 4]
+}
+
 // ExampleSolve_infeasible shows the status for contradictory
 // constraints: no error, Status Infeasible.
 func ExampleSolve_infeasible() {

@@ -66,6 +66,35 @@ type Result struct {
 // ErrBadProblem reports a malformed linear program.
 var ErrBadProblem = errors.New("lp: bad problem")
 
+// Typed solver outcomes for the two non-optimal statuses, so callers can
+// branch with errors.Is instead of matching on Status or error text.
+// Solve itself keeps its status-based contract (a non-optimal Result with
+// a nil error); Status.Err and Result.Err translate to these sentinels.
+var (
+	// ErrInfeasible reports that no point satisfies every constraint.
+	ErrInfeasible = errors.New("lp: infeasible")
+	// ErrUnbounded reports that the objective decreases without bound.
+	ErrUnbounded = errors.New("lp: unbounded")
+)
+
+// Err maps a status to its sentinel: nil for Optimal, ErrInfeasible and
+// ErrUnbounded otherwise (unknown statuses map to ErrBadProblem).
+func (s Status) Err() error {
+	switch s {
+	case Optimal:
+		return nil
+	case Infeasible:
+		return ErrInfeasible
+	case Unbounded:
+		return ErrUnbounded
+	default:
+		return fmt.Errorf("%w: unknown status %d", ErrBadProblem, int(s))
+	}
+}
+
+// Err reports the result's status as a typed sentinel (nil when Optimal).
+func (r *Result) Err() error { return r.Status.Err() }
+
 const (
 	eps          = 1e-9
 	maxPivotMult = 200 // pivot budget = maxPivotMult * (rows + cols)

@@ -1,0 +1,298 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSparse builds a random feasible LE problem (b = A x0 + margin for
+// a random x0 >= 0, so some right-hand sides go negative when A does)
+// and its dense twin.
+func randSparse(rng *rand.Rand, m, n int) (*SparseProblem, *Problem) {
+	sp := NewSparseProblem()
+	dense := NewProblem(n)
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			if rng.Float64() < 0.4 {
+				a[i][j] = math.Round((rng.Float64()*4-2)*8) / 8
+			}
+		}
+	}
+	x0 := make([]float64, n)
+	for j := range x0 {
+		if rng.Float64() < 0.7 {
+			x0[j] = rng.Float64() * 3
+		}
+	}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			b[i] += a[i][j] * x0[j]
+		}
+		b[i] += rng.Float64()
+	}
+	obj := make([]float64, n)
+	for j := range obj {
+		obj[j] = math.Round((rng.Float64()*2-0.6)*8) / 8 // mostly bounded below
+	}
+	for i := 0; i < m; i++ {
+		if _, err := sp.AddRow(b[i]); err != nil {
+			panic(err)
+		}
+		dense.AddConstraint(append([]float64(nil), a[i]...), LE, b[i])
+	}
+	for j := 0; j < n; j++ {
+		var rows []int
+		var vals []float64
+		for i := 0; i < m; i++ {
+			if a[i][j] != 0 {
+				rows = append(rows, i)
+				vals = append(vals, a[i][j])
+			}
+		}
+		if _, err := sp.AddColumn(obj[j], rows, vals); err != nil {
+			panic(err)
+		}
+		dense.Obj[j] = obj[j]
+	}
+	return sp, dense
+}
+
+// TestSparseMatchesDense cross-checks the revised-simplex path against
+// the dense tableau solver on random problems: same status, same
+// optimal value, and duals that satisfy feasibility, strong duality,
+// and nonnegative reduced costs.
+func TestSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		m, n := 1+rng.Intn(8), 1+rng.Intn(10)
+		sp, dense := randSparse(rng, m, n)
+		want, err := Solve(dense)
+		if err != nil {
+			t.Fatalf("trial %d: dense: %v", trial, err)
+		}
+		got, err := NewSparseSolver(sp).Solve()
+		switch want.Status {
+		case Unbounded:
+			if !errors.Is(err, ErrUnbounded) {
+				t.Fatalf("trial %d: dense unbounded, sparse err = %v", trial, err)
+			}
+			continue
+		case Infeasible:
+			t.Fatalf("trial %d: feasible-by-construction problem reported infeasible", trial)
+		}
+		if err != nil {
+			t.Fatalf("trial %d: sparse: %v (dense optimal %v)", trial, err, want.Obj)
+		}
+		scale := 1 + math.Abs(want.Obj)
+		if math.Abs(got.Obj-want.Obj) > 1e-6*scale {
+			t.Fatalf("trial %d: sparse obj %v, dense %v", trial, got.Obj, want.Obj)
+		}
+		// Dual feasibility: y <= 0 for a minimization over <= rows.
+		var dualObj float64
+		for i, y := range got.Y {
+			if y > 1e-7 {
+				t.Fatalf("trial %d: dual %d = %v > 0", trial, i, y)
+			}
+			dualObj += y * sp.rhs[i]
+		}
+		// Strong duality: y . b equals the optimal value.
+		if math.Abs(dualObj-got.Obj) > 1e-6*scale {
+			t.Fatalf("trial %d: dual objective %v, primal %v", trial, dualObj, got.Obj)
+		}
+		// Nonnegative reduced costs for every column at optimality.
+		for j := 0; j < sp.NumCols(); j++ {
+			rc := sp.obj[j]
+			for tt, r := range sp.cind[j] {
+				rc -= got.Y[r] * sp.cval[j][tt]
+			}
+			if rc < -1e-6*scale {
+				t.Fatalf("trial %d: column %d reduced cost %v at optimality", trial, j, rc)
+			}
+		}
+	}
+}
+
+// TestSparseWarmStart grows a solved problem by columns and rows and
+// re-solves warm, comparing against a cold solver on the grown problem.
+// The warm re-solve must match the optimum and do less pivoting than a
+// cold start would on at least some trials (the factorization-reuse
+// contract).
+func TestSparseWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	warmCheaper := 0
+	for trial := 0; trial < 40; trial++ {
+		m, n := 2+rng.Intn(6), 2+rng.Intn(8)
+		sp, _ := randSparse(rng, m, n)
+		warm := NewSparseSolver(sp)
+		first, err := warm.Solve()
+		if err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				continue
+			}
+			t.Fatalf("trial %d: first solve: %v", trial, err)
+		}
+		// Grow: one fresh row, then columns that may use it.
+		newRow, err := sp.AddRow(1 + rng.Float64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for extra := 0; extra < 3; extra++ {
+			var rows []int
+			var vals []float64
+			for i := 0; i < m; i++ {
+				if rng.Float64() < 0.4 {
+					rows = append(rows, i)
+					vals = append(vals, rng.Float64()*2-1)
+				}
+			}
+			rows = append(rows, newRow)
+			vals = append(vals, 1)
+			if _, err := sp.AddColumn(rng.Float64()-0.8, rows, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := warm.Solve()
+		if err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				continue
+			}
+			t.Fatalf("trial %d: warm re-solve: %v", trial, err)
+		}
+		cold, err := NewSparseSolver(sp).Solve()
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		scale := 1 + math.Abs(cold.Obj)
+		if math.Abs(got.Obj-cold.Obj) > 1e-6*scale {
+			t.Fatalf("trial %d: warm obj %v, cold %v", trial, got.Obj, cold.Obj)
+		}
+		if got.Obj > first.Obj+1e-9*scale {
+			t.Fatalf("trial %d: adding columns worsened the optimum: %v -> %v", trial, first.Obj, got.Obj)
+		}
+		if got.Pivots < cold.Pivots {
+			warmCheaper++
+		}
+	}
+	if warmCheaper == 0 {
+		t.Fatal("warm re-solve never pivoted less than a cold start")
+	}
+}
+
+// TestSparseSentinels pins the typed error contract of the sparse path
+// and the dense status translation.
+func TestSparseSentinels(t *testing.T) {
+	// x >= 0 with 1*x <= -1: infeasible.
+	inf := NewSparseProblem()
+	if _, err := inf.AddRow(-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inf.AddColumn(0, []int{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSparseSolver(inf).Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("infeasible problem: err = %v, want ErrInfeasible", err)
+	}
+
+	// min -x1 with x1 - x2 <= 1: unbounded along x1 = x2 + 1.
+	unb := NewSparseProblem()
+	if _, err := unb.AddRow(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unb.AddColumn(-1, []int{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unb.AddColumn(0, []int{0}, []float64{-1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSparseSolver(unb).Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("unbounded problem: err = %v, want ErrUnbounded", err)
+	}
+
+	if err := Optimal.Err(); err != nil {
+		t.Fatalf("Optimal.Err() = %v", err)
+	}
+	if err := Infeasible.Err(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Infeasible.Err() = %v", err)
+	}
+	if err := Unbounded.Err(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("Unbounded.Err() = %v", err)
+	}
+	r := &Result{Status: Unbounded}
+	if !errors.Is(r.Err(), ErrUnbounded) {
+		t.Fatalf("Result.Err() = %v", r.Err())
+	}
+}
+
+// TestSparseValidation exercises the append-time input checks.
+func TestSparseValidation(t *testing.T) {
+	p := NewSparseProblem()
+	if _, err := p.AddRow(math.NaN()); err == nil {
+		t.Fatal("NaN rhs accepted")
+	}
+	if _, err := p.AddRow(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddColumn(math.Inf(1), nil, nil); err == nil {
+		t.Fatal("Inf objective accepted")
+	}
+	if _, err := p.AddColumn(0, []int{0}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := p.AddColumn(0, []int{1}, []float64{1}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := p.AddColumn(0, []int{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("duplicate row index accepted")
+	}
+	if _, err := p.AddColumn(0, []int{0}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN entry accepted")
+	}
+	if _, err := p.AddColumn(1, []int{0}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewSparseSolver(p).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obj != 0 || res.X[0] != 0 {
+		t.Fatalf("min x s.t. x <= 2: got X=%v obj=%v", res.X, res.Obj)
+	}
+}
+
+// TestSparseDegenerate solves a deliberately degenerate problem (many
+// ties at zero) to exercise the Bland fallback path without cycling.
+func TestSparseDegenerate(t *testing.T) {
+	p := NewSparseProblem()
+	for i := 0; i < 6; i++ {
+		if _, err := p.AddRow(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.AddRow(1); err != nil {
+		t.Fatal(err)
+	}
+	// Every variable is capped by the same zero-rhs rows; only x5 can
+	// grow, bounded by the last row.
+	for j := 0; j < 5; j++ {
+		if _, err := p.AddColumn(-1, []int{j, j + 1}, []float64{1, -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.AddColumn(-1, []int{6}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewSparseSolver(p).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Obj+1) > 1e-7 {
+		t.Fatalf("degenerate problem obj %v, want -1", res.Obj)
+	}
+}

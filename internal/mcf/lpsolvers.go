@@ -102,7 +102,7 @@ func MinMLU(g *graph.Graph, tm *traffic.Matrix) (*MLUResult, error) {
 	case lp.Infeasible:
 		return nil, fmt.Errorf("%w: demands cannot be routed", ErrInfeasible)
 	default:
-		return nil, fmt.Errorf("mcf: MinMLU LP status %v", r.Status)
+		return nil, fmt.Errorf("mcf: MinMLU LP: %w", r.Err())
 	}
 	return &MLUResult{Flow: ly.extract(r.X), MLU: r.X[theta]}, nil
 }
@@ -144,7 +144,7 @@ func MinCostMCF(g *graph.Graph, tm *traffic.Matrix, weights []float64) (*Flow, f
 	case lp.Infeasible:
 		return nil, 0, fmt.Errorf("%w: demands exceed capacities", ErrInfeasible)
 	default:
-		return nil, 0, fmt.Errorf("mcf: MinCostMCF LP status %v", r.Status)
+		return nil, 0, fmt.Errorf("mcf: MinCostMCF LP: %w", r.Err())
 	}
 	return ly.extract(r.X), r.Obj, nil
 }

@@ -109,6 +109,41 @@ func TestLadderOrdering(t *testing.T) {
 	}
 }
 
+// TestLadderColGenMatchesDense pins the tentpole equivalence at the
+// router level: MPLS-kSP with colgen=on (column generation over all
+// simple paths) must land on the same MLU as the dense enumeration
+// within LP tolerance on every ladder instance, and screen=on must not
+// move either. Colgen's optimum can only be <= dense's (it optimizes
+// over a superset of paths), so the check is two-sided with a small
+// tolerance rather than an inequality.
+func TestLadderColGenMatchesDense(t *testing.T) {
+	const evals = 300
+	for _, inst := range ladderInstances(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			opts := ExplicitOptions{MaxEvals: evals, Seed: 1, K: 16}
+			dense := mluOf(t, MPLSKSP(opts), inst.n, inst.d)
+			cgOpts := opts
+			cgOpts.ColGen = true
+			colgen := mluOf(t, MPLSKSP(cgOpts), inst.n, inst.d)
+			if colgen > dense*(1+1e-6)+1e-9 {
+				t.Errorf("colgen MLU %v above dense %v", colgen, dense)
+			}
+			if colgen < dense*(1-1e-6)-1e-9 {
+				// Dense k=16 fell short of the all-paths optimum: legal in
+				// principle, but on these small instances it means the
+				// fixture no longer pins equality — flag it.
+				t.Errorf("colgen MLU %v strictly below dense %v (k too small to certify equality)", colgen, dense)
+			}
+			scrOpts := cgOpts
+			scrOpts.Screen = true
+			if screened := mluOf(t, MPLSKSP(scrOpts), inst.n, inst.d); screened != colgen {
+				t.Errorf("screen=on changed MLU: %v vs %v", screened, colgen)
+			}
+		})
+	}
+}
+
 // TestLadderSpecsMatchConstructors: the registry specs used by suites
 // and the golden ladder resolve to the same parameterizations the
 // property test exercises (same names, same iteration mapping).
@@ -121,9 +156,14 @@ func TestLadderSpecsMatchConstructors(t *testing.T) {
 		{"mpls-ksp:k=8", "MPLS-kSP(k=8)"},
 		{"mpls-ksp:base=invcap", "MPLS-kSP(base=invcap)"},
 		{"mpls-ksp:k=6,base=invcap", "MPLS-kSP(k=6,base=invcap)"},
+		// colgen/screen change the solve strategy, not the model, so they
+		// stay out of the display name (golden row names are stable).
+		{"mpls-ksp:colgen=on", "MPLS-kSP"},
+		{"mpls-ksp:colgen=off,screen=on", "MPLS-kSP"},
 		{"sr", "SR-2seg"},
 		{"sr:segs=1", "SR-1seg"},
 		{"sr:segs=2,base=invcap", "SR-2seg(base=invcap)"},
+		{"sr:screen=on", "SR-2seg"},
 	} {
 		r, err := ResolveRouter(tc.spec, 0)
 		if err != nil {
@@ -140,6 +180,9 @@ func TestLadderSpecsMatchConstructors(t *testing.T) {
 		{"sr:segs=3", "segs=3"},
 		{"sr:base=ecmp", "base"},
 		{"mpls-ksp:wmax=0", "wmax"},
+		{"mpls-ksp:colgen=maybe", "colgen"},
+		{"sr:colgen=on", "colgen is mpls-ksp only"},
+		{"sr:screen=2", "screen"},
 	} {
 		if _, err := ResolveRouter(bad.spec, 0); err == nil {
 			t.Errorf("%s (%s) resolved, want error", bad.spec, bad.hint)

@@ -302,9 +302,9 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 			TabuTenure:     tenure,
 		}), nil
 	case "mpls-ksp", "sr":
-		allowed := []string{"seed", "wmax", "base"}
+		allowed := []string{"seed", "wmax", "base", "screen"}
 		if name == "mpls-ksp" {
-			allowed = append(allowed, "k")
+			allowed = append(allowed, "k", "colgen")
 		} else {
 			allowed = append(allowed, "segs")
 		}
@@ -335,6 +335,13 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 		default:
 			return nil, fmt.Errorf("%w: spec %q: base=%q must be ospf-ls or invcap", ErrBadInput, spec, base)
 		}
+		switch params["screen"] {
+		case "", "off":
+		case "on":
+			opts.Screen = true
+		default:
+			return nil, fmt.Errorf("%w: spec %q: screen=%q must be on or off", ErrBadInput, spec, params["screen"])
+		}
 		if name == "mpls-ksp" {
 			k, err := intParam(params, "k", defaultMPLSPaths)
 			if err != nil {
@@ -344,6 +351,13 @@ func ResolveRouter(spec string, defaultIters int) (Router, error) {
 				return nil, fmt.Errorf("%w: spec %q: k=%d must be >= 1", ErrBadInput, spec, k)
 			}
 			opts.K = int(k)
+			switch params["colgen"] {
+			case "", "off":
+			case "on":
+				opts.ColGen = true
+			default:
+				return nil, fmt.Errorf("%w: spec %q: colgen=%q must be on or off", ErrBadInput, spec, params["colgen"])
+			}
 			return MPLSKSP(opts), nil
 		}
 		segs, err := intParam(params, "segs", 2)
